@@ -1,0 +1,45 @@
+// Command analyze runs the full measurement pipeline over a stored
+// dataset and prints every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	analyze [-in dataset.jsonl] [-seed 1] [-pots 221] [-stride 30]
+//
+// The seed must match the one the dataset was generated with so the
+// rebuilt geography registry agrees with the recorded client IPs.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"honeyfarm"
+)
+
+func main() {
+	in := flag.String("in", "dataset.jsonl", "input dataset")
+	cowrie := flag.Bool("cowrie", false, "input is a Cowrie JSON event log instead of this repo's JSONL")
+	seed := flag.Int64("seed", 1, "registry seed used at generation time")
+	pots := flag.Int("pots", 221, "number of honeypots in the dataset")
+	stride := flag.Int("stride", 30, "time-series row stride in days")
+	flag.Parse()
+
+	reg := honeyfarm.NewRegistry(*seed)
+	var d *honeyfarm.Dataset
+	var err error
+	if *cowrie {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			log.Fatalf("opening log: %v", ferr)
+		}
+		defer f.Close()
+		d, err = honeyfarm.LoadCowrie(f, reg, *pots, *seed)
+	} else {
+		d, err = honeyfarm.LoadDatasetFile(*in, reg, *pots, *seed)
+	}
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
+	}
+	d.WriteReport(os.Stdout, honeyfarm.ReportOptions{SeriesStride: *stride})
+}

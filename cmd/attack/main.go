@@ -1,0 +1,175 @@
+// Command attack is the client-side tool: it connects to a honeypot
+// (this repository's, or any SSH/Telnet server) and behaves like one of
+// the paper's client types — a scanner (connect and leave), a scouter
+// (failed logins), or an intruder (log in and run a command script).
+//
+// Usage:
+//
+//	attack -addr localhost:2222 -proto ssh -user root -pass 1234 -cmd 'uname -a'
+//	attack -addr localhost:2222 -proto ssh -scan                      # NO_CRED probe
+//	attack -addr localhost:2323 -proto telnet -user root -pass 1234 -script cmds.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"honeyfarm/internal/sshwire"
+	"honeyfarm/internal/telnet"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:2222", "target host:port")
+	proto := flag.String("proto", "ssh", "protocol: ssh or telnet")
+	user := flag.String("user", "root", "username")
+	pass := flag.String("pass", "1234", "password")
+	command := flag.String("cmd", "", "single command to exec (ssh) or run (telnet)")
+	script := flag.String("script", "", "file with one shell command per line")
+	scan := flag.Bool("scan", false, "handshake only, no credentials (NO_CRED)")
+	version := flag.String("version", "SSH-2.0-libssh2_1.8.0", "SSH client version string")
+	timeout := flag.Duration("timeout", 30*time.Second, "connection timeout")
+	flag.Parse()
+
+	lines, err := commandLines(*command, *script)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nc, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(*timeout))
+
+	switch *proto {
+	case "ssh":
+		runSSH(nc, *user, *pass, *version, *scan, lines)
+	case "telnet":
+		runTelnet(nc, *user, *pass, *scan, lines)
+	default:
+		log.Fatalf("unknown protocol %q", *proto)
+	}
+}
+
+func commandLines(command, script string) ([]string, error) {
+	var lines []string
+	if command != "" {
+		lines = append(lines, command)
+	}
+	if script != "" {
+		f, err := os.Open(script)
+		if err != nil {
+			return nil, fmt.Errorf("opening script: %w", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if l := strings.TrimSpace(sc.Text()); l != "" && !strings.HasPrefix(l, "#") {
+				lines = append(lines, l)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("reading script: %w", err)
+		}
+	}
+	return lines, nil
+}
+
+func runSSH(nc net.Conn, user, pass, version string, scan bool, lines []string) {
+	cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{
+		User: user, Password: pass, Version: version, SkipAuth: scan,
+	})
+	if err != nil {
+		log.Fatalf("ssh: %v", err)
+	}
+	if scan {
+		fmt.Printf("scan complete: server %s\n", cc.ServerVersion())
+		cc.Close()
+		return
+	}
+	defer cc.Close()
+	fmt.Fprintf(os.Stderr, "logged in to %s\n", cc.ServerVersion())
+
+	if len(lines) == 1 {
+		sess, err := cc.OpenSession()
+		if err != nil {
+			log.Fatalf("session: %v", err)
+		}
+		if err := sshwire.RequestExec(sess, lines[0]); err != nil {
+			log.Fatalf("exec: %v", err)
+		}
+		out, _ := io.ReadAll(sess)
+		os.Stdout.Write(out)
+		if status, ok := sess.ExitStatus(); ok {
+			fmt.Fprintf(os.Stderr, "exit status %d\n", status)
+		}
+		return
+	}
+
+	sess, err := cc.OpenSession()
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	if err := sshwire.RequestPTY(sess, "xterm", 80, 24); err != nil {
+		log.Fatalf("pty: %v", err)
+	}
+	if err := sshwire.RequestShell(sess); err != nil {
+		log.Fatalf("shell: %v", err)
+	}
+	go func() {
+		for _, l := range lines {
+			if _, err := sess.Write([]byte(l + "\n")); err != nil {
+				return
+			}
+		}
+		_, _ = sess.Write([]byte("exit\n"))
+	}()
+	out, _ := io.ReadAll(sess)
+	os.Stdout.Write(out)
+}
+
+func runTelnet(nc net.Conn, user, pass string, scan bool, lines []string) {
+	c := telnet.NewConn(nc, false)
+	if scan {
+		// Read the banner/prompt and leave.
+		buf := make([]byte, 256)
+		_, _ = nc.Read(buf)
+		fmt.Println("scan complete")
+		return
+	}
+	ok, err := telnet.ClientLogin(c, user, pass)
+	if err != nil {
+		log.Fatalf("telnet login: %v", err)
+	}
+	if !ok {
+		log.Fatal("telnet login rejected")
+	}
+	fmt.Fprintln(os.Stderr, "logged in")
+	for _, l := range append(lines, "exit") {
+		if err := c.WriteString(l + "\r\n"); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		// Read until the next prompt (or connection close on exit).
+		var out strings.Builder
+		for {
+			b, err := c.ReadByte()
+			if err != nil {
+				fmt.Print(out.String())
+				return
+			}
+			out.WriteByte(b)
+			if strings.HasSuffix(out.String(), "# ") {
+				break
+			}
+		}
+		fmt.Print(out.String())
+	}
+}

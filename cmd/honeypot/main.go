@@ -1,0 +1,97 @@
+// Command honeypot runs a single medium-interaction SSH/Telnet honeypot
+// on real TCP ports — the same honeypot code the simulated farm runs
+// in-process — and streams Cowrie-style JSONL session records to a log.
+//
+// Usage:
+//
+//	honeypot [-ssh :2222] [-telnet :2323] [-log sessions.jsonl] [-fetch]
+//
+// Connect with any SSH client (user root, any password except "root"):
+//
+//	ssh -p 2222 root@localhost
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/malware"
+)
+
+func main() {
+	sshAddr := flag.String("ssh", ":2222", "SSH listen address")
+	telnetAddr := flag.String("telnet", ":2323", "Telnet listen address")
+	logPath := flag.String("log", "", "JSONL session log (default stdout)")
+	fetch := flag.Bool("fetch", false, "simulate successful downloads for wget/curl/tftp (default: egress blocked)")
+	transcript := flag.Bool("transcript", false, "record shell output transcripts into the session log")
+	flag.Parse()
+
+	out := os.Stdout
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening log: %v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	var mu sync.Mutex
+	enc := json.NewEncoder(out)
+
+	rsaKey, err := rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		log.Fatalf("generating rsa host key: %v", err)
+	}
+	cfg := honeypot.Config{
+		RSAHostKey:       rsaKey,
+		RecordTranscript: *transcript,
+		Sink: func(r *honeypot.SessionRecord) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := enc.Encode(r); err != nil {
+				log.Printf("encoding record: %v", err)
+			}
+		},
+	}
+	if *fetch {
+		cfg.Fetch = func(uri string) ([]byte, error) {
+			return malware.PayloadFor(uri), nil
+		}
+	}
+	pot, err := honeypot.New(cfg)
+	if err != nil {
+		log.Fatalf("creating honeypot: %v", err)
+	}
+	_ = pot.HostKey() // host key is generated eagerly above
+
+	var wg sync.WaitGroup
+	serve := func(addr, proto string, handle func(net.Conn)) {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("listening on %s: %v", addr, err)
+		}
+		fmt.Fprintf(os.Stderr, "honeypot: %s on %s\n", proto, l.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go handle(c)
+			}
+		}()
+	}
+	serve(*sshAddr, "ssh", pot.ServeSSH)
+	serve(*telnetAddr, "telnet", pot.ServeTelnet)
+	wg.Wait()
+}

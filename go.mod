@@ -1,0 +1,3 @@
+module honeyfarm
+
+go 1.22

@@ -1,0 +1,175 @@
+package honeyfarm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"honeyfarm/internal/analysis"
+)
+
+// smallDataset is shared by the facade tests.
+var smallDataset *Dataset
+
+func testDataset(t testing.TB) *Dataset {
+	t.Helper()
+	if smallDataset != nil {
+		return smallDataset
+	}
+	d, err := Simulate(SimulateConfig{Seed: 7, TotalSessions: 40_000, Days: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallDataset = d
+	return d
+}
+
+func TestSimulateBasics(t *testing.T) {
+	d := testDataset(t)
+	if d.Sessions() < 30_000 {
+		t.Fatalf("sessions = %d", d.Sessions())
+	}
+	if d.Days() == 0 || d.Days() > 120 {
+		t.Errorf("days = %d", d.Days())
+	}
+	if len(d.Deployments) != 221 {
+		t.Errorf("deployments = %d", len(d.Deployments))
+	}
+}
+
+func TestDatasetArtifacts(t *testing.T) {
+	d := testDataset(t)
+	cs := d.CategoryShares()
+	if cs.Total != d.Sessions() {
+		t.Errorf("total mismatch: %d vs %d", cs.Total, d.Sessions())
+	}
+	if len(d.TopPasswords(10)) != 10 {
+		t.Error("top passwords short")
+	}
+	if len(d.TopCommands(20)) == 0 {
+		t.Error("no commands")
+	}
+	if len(d.HashTable(analysis.BySessions, 20)) != 20 {
+		t.Error("hash table short")
+	}
+	if got := d.DailySeries(-1, 0); len(got.Bands) != d.Days() {
+		t.Errorf("series bands = %d", len(got.Bands))
+	}
+	if got := d.DailySeries(int(FailLog), 0.05); len(got.Bands) != d.Days() {
+		t.Errorf("top-5%% series bands = %d", len(got.Bands))
+	}
+	if v := d.HashVisibility(); v.Total == 0 {
+		t.Error("no hashes")
+	}
+	if len(d.CampaignDurations()) < 3 {
+		t.Error("too few campaign tags")
+	}
+	if len(d.ClientCountries(nil)) < 20 {
+		t.Error("too few countries")
+	}
+	if rd := d.RegionalDiversity(nil); len(rd.Clients) != d.Days() {
+		t.Error("regional diversity days mismatch")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := testDataset(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf, d.Registry, d.NumPots, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sessions() != d.Sessions() {
+		t.Fatalf("sessions: %d vs %d", loaded.Sessions(), d.Sessions())
+	}
+	// Same classification results after round trip.
+	a := d.CategoryShares()
+	b := loaded.CategoryShares()
+	for c := Category(0); c < analysis.NumCategories; c++ {
+		if a.Overall[c] != b.Overall[c] {
+			t.Errorf("%v share changed after reload", c)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	d := testDataset(t)
+	var buf bytes.Buffer
+	d.WriteReport(&buf, ReportOptions{})
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+		"Figure 2", "Figure 3", "Figure 4", "Figure 6", "Figure 7",
+		"Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12",
+		"Figure 13", "Figure 14", "Figure 15", "Figure 16", "Figure 17",
+		"Figure 18", "Figure 20", "Figure 21", "Figure 22",
+		"NO_CRED", "trojan", "hash visibility",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	r := &SessionRecord{}
+	if Classify(r) != NoCred {
+		t.Error("facade Classify broken")
+	}
+}
+
+func TestNewFarmFacade(t *testing.T) {
+	f, err := NewFarm(FarmConfig{Seed: 3, NumPots: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if len(f.Deployments()) != 60 {
+		t.Errorf("deployments = %d", len(f.Deployments()))
+	}
+}
+
+func TestMergeFederation(t *testing.T) {
+	a, err := Simulate(SimulateConfig{Seed: 1, TotalSessions: 6000, Days: 20, NumPots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(SimulateConfig{Seed: 2, TotalSessions: 6000, Days: 20, NumPots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSessions, bSessions := a.Sessions(), b.Sessions()
+	aHashes := len(a.HashStats())
+
+	a.Merge(b)
+	if a.Sessions() != aSessions+bSessions {
+		t.Fatalf("sessions = %d, want %d", a.Sessions(), aSessions+bSessions)
+	}
+	if a.NumPots != 16 || len(a.Deployments) != 16 {
+		t.Errorf("pots = %d deployments = %d, want 16", a.NumPots, len(a.Deployments))
+	}
+	// Honeypot IDs from b are offset into 8..15.
+	per := a.PerHoneypot()
+	if len(per) != 16 {
+		t.Fatalf("per = %d", len(per))
+	}
+	for i := 8; i < 16; i++ {
+		if per[i].Sessions == 0 {
+			t.Errorf("merged honeypot %d has no sessions", i)
+		}
+	}
+	// Federation widens hash visibility (caches were invalidated).
+	if got := len(a.HashStats()); got < aHashes {
+		t.Errorf("merged hashes = %d, want ≥ %d", got, aHashes)
+	}
+	// b's records were copied, not aliased.
+	if b.Store.Records()[0].HoneypotID >= 8 {
+		t.Error("merge mutated the source dataset")
+	}
+}

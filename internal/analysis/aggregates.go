@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/shell"
+	"honeyfarm/internal/stats"
+	"honeyfarm/internal/store"
+)
+
+// CategoryShares is Table 1: the fraction of sessions per category,
+// overall and per protocol, plus each category's protocol split.
+type CategoryShares struct {
+	Total int
+	// Overall[c] is the fraction of all sessions in category c.
+	Overall [NumCategories]float64
+	// SSHShareOfCategory[c] is, within category c, the fraction using SSH
+	// (Table 1's second row; Telnet is the complement).
+	SSHShareOfCategory [NumCategories]float64
+	// SSHTotal is the fraction of all sessions using SSH.
+	SSHTotal float64
+}
+
+// ComputeCategoryShares reproduces Table 1 from a dataset.
+func ComputeCategoryShares(s *store.Store) CategoryShares {
+	var out CategoryShares
+	var counts [NumCategories]int
+	var sshCounts [NumCategories]int
+	ssh := 0
+	for _, r := range s.Records() {
+		c := Classify(r)
+		counts[c]++
+		if r.Protocol == honeypot.SSH {
+			sshCounts[c]++
+			ssh++
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	out.Total = total
+	if total == 0 {
+		return out
+	}
+	for c := 0; c < int(NumCategories); c++ {
+		out.Overall[c] = float64(counts[c]) / float64(total)
+		if counts[c] > 0 {
+			out.SSHShareOfCategory[c] = float64(sshCounts[c]) / float64(counts[c])
+		}
+	}
+	out.SSHTotal = float64(ssh) / float64(total)
+	return out
+}
+
+// Counted is a generic (value, count) pair for top-N tables.
+type Counted struct {
+	Value string
+	Count int
+}
+
+func topN(counts map[string]int, n int) []Counted {
+	out := make([]Counted, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, Counted{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopPasswords reproduces Table 2: the most-used successful passwords.
+func TopPasswords(s *store.Store, n int) []Counted {
+	counts := make(map[string]int)
+	for _, r := range s.Records() {
+		for _, l := range r.Logins {
+			if l.Success {
+				counts[l.Password]++
+			}
+		}
+	}
+	return topN(counts, n)
+}
+
+// TopUsernames returns the most-attempted usernames (successful or not);
+// the paper notes "nproc", "admin", and "user" among the most frequent.
+func TopUsernames(s *store.Store, n int) []Counted {
+	counts := make(map[string]int)
+	for _, r := range s.Records() {
+		for _, l := range r.Logins {
+			counts[l.User]++
+		}
+	}
+	return topN(counts, n)
+}
+
+// TopCommands reproduces Table 3: recorded command strings split at
+// command separators (';' and '|'), ranked by occurrence.
+func TopCommands(s *store.Store, n int) []Counted {
+	counts := make(map[string]int)
+	for _, r := range s.Records() {
+		for _, c := range r.Commands {
+			for _, seg := range shell.SplitSegments(c.Input) {
+				counts[seg]++
+			}
+		}
+	}
+	return topN(counts, n)
+}
+
+// TopClientVersions ranks the SSH client identification strings the
+// honeypots record during the handshake (Section 4); fingerprinting
+// these strings is how related work (Ghiëtte et al.) identified 49
+// distinct attack toolchains.
+func TopClientVersions(s *store.Store, n int) []Counted {
+	counts := make(map[string]int)
+	for _, r := range s.Records() {
+		if r.ClientVersion != "" {
+			counts[r.ClientVersion]++
+		}
+	}
+	return topN(counts, n)
+}
+
+// PerHoneypot aggregates one honeypot's totals, the basis of Figures 2,
+// 14, 18 and 19.
+type PerHoneypot struct {
+	Sessions int
+	Clients  int // unique client IPs
+	Hashes   int // unique file hashes
+}
+
+// ComputePerHoneypot returns per-honeypot totals indexed by honeypot ID.
+// numPots sizes the result; IDs outside [0, numPots) are ignored.
+func ComputePerHoneypot(s *store.Store, numPots int) []PerHoneypot {
+	out := make([]PerHoneypot, numPots)
+	clients := make([]map[string]struct{}, numPots)
+	hashes := make([]map[string]struct{}, numPots)
+	for i := range clients {
+		clients[i] = make(map[string]struct{})
+		hashes[i] = make(map[string]struct{})
+	}
+	for _, r := range s.Records() {
+		id := r.HoneypotID
+		if id < 0 || id >= numPots {
+			continue
+		}
+		out[id].Sessions++
+		clients[id][r.ClientIP] = struct{}{}
+		for _, f := range r.Files {
+			hashes[id][f.Hash] = struct{}{}
+		}
+	}
+	for i := range out {
+		out[i].Clients = len(clients[i])
+		out[i].Hashes = len(hashes[i])
+	}
+	return out
+}
+
+// SessionRank returns the descending session-count curve of Figure 2.
+func SessionRank(per []PerHoneypot) []float64 {
+	vals := make([]float64, len(per))
+	for i, p := range per {
+		vals[i] = float64(p.Sessions)
+	}
+	return stats.RankCurve(vals)
+}
+
+// DailyMatrix builds values[day][pot] = #sessions, optionally filtered
+// to one category (pass -1 for all), the input to Figures 3, 4, 8, 9.
+func DailyMatrix(s *store.Store, numPots int, cat int) [][]float64 {
+	days := s.NumDays()
+	if days <= 0 {
+		return nil
+	}
+	m := make([][]float64, days)
+	for i := range m {
+		m[i] = make([]float64, numPots)
+	}
+	for _, r := range s.Records() {
+		if cat >= 0 && Classify(r) != Category(cat) {
+			continue
+		}
+		d := s.Day(r.Start)
+		if d < 0 || d >= days || r.HoneypotID < 0 || r.HoneypotID >= numPots {
+			continue
+		}
+		m[d][r.HoneypotID]++
+	}
+	return m
+}
+
+// TopPotsByActivity returns the IDs of the top fraction (e.g. 0.05 for
+// the paper's "top 5% of honeypots") by total session count.
+func TopPotsByActivity(per []PerHoneypot, fraction float64) []int {
+	type kv struct{ id, sessions int }
+	all := make([]kv, len(per))
+	for i, p := range per {
+		all[i] = kv{i, p.Sessions}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].sessions > all[j].sessions })
+	n := int(float64(len(per))*fraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = all[i].id
+	}
+	return ids
+}
+
+// FilterMatrixPots restricts a [day][pot] matrix to the given pot IDs.
+func FilterMatrixPots(m [][]float64, ids []int) [][]float64 {
+	out := make([][]float64, len(m))
+	for d := range m {
+		row := make([]float64, len(ids))
+		for i, id := range ids {
+			if id < len(m[d]) {
+				row[i] = m[d][id]
+			}
+		}
+		out[d] = row
+	}
+	return out
+}
+
+// PercentileSeries computes the median/IQR/5-95 bands per day from a
+// [day][pot] matrix — the visualization of Figures 3, 4, 8 and 9.
+func PercentileSeries(m [][]float64) stats.Series {
+	return stats.NewSeries(m)
+}
+
+// CategoryTimeline is Figure 6: per-day session counts by category plus
+// the total.
+type CategoryTimeline struct {
+	// PerDay[d][c] is the number of category-c sessions on day d.
+	PerDay [][NumCategories]int
+	// Total[d] is the day's session count.
+	Total []int
+}
+
+// ComputeCategoryTimeline builds Figure 6's series.
+func ComputeCategoryTimeline(s *store.Store) CategoryTimeline {
+	days := s.NumDays()
+	tl := CategoryTimeline{
+		PerDay: make([][NumCategories]int, days),
+		Total:  make([]int, days),
+	}
+	for _, r := range s.Records() {
+		d := s.Day(r.Start)
+		if d < 0 || d >= days {
+			continue
+		}
+		tl.PerDay[d][Classify(r)]++
+		tl.Total[d]++
+	}
+	return tl
+}
+
+// DurationECDFs returns the per-category session-duration distributions
+// of Figure 7, in seconds.
+func DurationECDFs(s *store.Store) [NumCategories]*stats.ECDF {
+	var out [NumCategories]*stats.ECDF
+	for c := range out {
+		out[c] = new(stats.ECDF)
+	}
+	for _, r := range s.Records() {
+		d := r.Duration()
+		if d < 0 {
+			continue
+		}
+		out[Classify(r)].Add(d.Seconds())
+	}
+	for c := range out {
+		out[c].Sort()
+	}
+	return out
+}
+
+// MedianDailySessions returns the median of the farm's daily totals
+// (the paper reports ≈1.6M at full scale).
+func MedianDailySessions(s *store.Store) float64 {
+	tl := ComputeCategoryTimeline(s)
+	e := new(stats.ECDF)
+	for _, n := range tl.Total {
+		e.Add(float64(n))
+	}
+	return e.Quantile(0.5)
+}
+
+// ObservationDays returns the day-span helper used by reports.
+func ObservationDays(s *store.Store) int { return s.NumDays() }
+
+// DayTime returns the midpoint time of a day bucket, for labeling series.
+func DayTime(s *store.Store, day int) time.Time {
+	return s.Epoch().Add(time.Duration(day)*24*time.Hour + 12*time.Hour)
+}

@@ -1,0 +1,93 @@
+// Package analysis implements the paper's measurement pipeline: the
+// session classification of Figure 5 (NO_CRED / FAIL_LOG / NO_CMD / CMD
+// / CMD+URI), and every aggregate behind the evaluation's tables and
+// figures — per-honeypot activity, client-IP behavior, geography, command
+// and password popularity, file-hash campaigns, and freshness.
+package analysis
+
+import "honeyfarm/internal/honeypot"
+
+// Category is the paper's session taxonomy (Section 6, Figure 5).
+type Category uint8
+
+// Categories in flow-diagram order.
+const (
+	// NoCred: the client never attempted to log in — scanning.
+	NoCred Category = iota
+	// FailLog: login attempts, none successful — scouting.
+	FailLog
+	// NoCmd: successful login, no commands — intrusion.
+	NoCmd
+	// Cmd: successful login and commands, no external URIs — intrusion.
+	Cmd
+	// CmdURI: commands plus access to an external resource — intrusion.
+	CmdURI
+	// NumCategories is the category count, for array sizing.
+	NumCategories
+)
+
+var categoryNames = [...]string{"NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD+URI"}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "UNKNOWN"
+}
+
+// Behavior groups categories into the paper's three client behaviors.
+type Behavior uint8
+
+// Behavior values.
+const (
+	// Scanning: port checks without login attempts (NO_CRED).
+	Scanning Behavior = iota
+	// Scouting: credential-guessing (FAIL_LOG).
+	Scouting
+	// Intrusion: shell access obtained (NO_CMD, CMD, CMD+URI).
+	Intrusion
+)
+
+func (b Behavior) String() string {
+	switch b {
+	case Scanning:
+		return "scanning"
+	case Scouting:
+		return "scouting"
+	}
+	return "intrusion"
+}
+
+// Classify applies Figure 5's flow to one session record:
+//
+//	credentials? ─no→ NO_CRED
+//	  └yes→ success? ─no→ FAIL_LOG
+//	          └yes→ commands? ─no→ NO_CMD
+//	                  └yes→ URI? ─no→ CMD
+//	                          └yes→ CMD+URI
+func Classify(r *honeypot.SessionRecord) Category {
+	if len(r.Logins) == 0 {
+		return NoCred
+	}
+	if !r.LoggedIn() {
+		return FailLog
+	}
+	if len(r.Commands) == 0 {
+		return NoCmd
+	}
+	if len(r.URIs) == 0 {
+		return Cmd
+	}
+	return CmdURI
+}
+
+// BehaviorOf maps a category onto the scanning/scouting/intrusion split.
+func BehaviorOf(c Category) Behavior {
+	switch c {
+	case NoCred:
+		return Scanning
+	case FailLog:
+		return Scouting
+	}
+	return Intrusion
+}

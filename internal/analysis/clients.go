@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/stats"
+	"honeyfarm/internal/store"
+)
+
+// ClientStat aggregates one client IP across the dataset.
+type ClientStat struct {
+	IP         string
+	Sessions   int
+	Honeypots  int   // distinct honeypots contacted (Figure 12)
+	ActiveDays int   // distinct days seen (Figure 13)
+	Categories uint8 // bitmask of categories the IP appeared in
+}
+
+// HasCategory reports whether the client had a session in category c.
+func (c ClientStat) HasCategory(cat Category) bool {
+	return c.Categories&(1<<cat) != 0
+}
+
+// NumCategoriesSeen counts the distinct categories the IP appeared in;
+// the paper reports >40% of IPs are multi-category.
+func (c ClientStat) NumCategoriesSeen() int {
+	n := 0
+	for cat := Category(0); cat < NumCategories; cat++ {
+		if c.HasCategory(cat) {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputeClientStats aggregates every client IP. Pass cat = -1 for all
+// categories or a specific Category to restrict (for the per-category
+// ECDFs of Figures 12 and 13).
+func ComputeClientStats(s *store.Store, cat int) []ClientStat {
+	type acc struct {
+		sessions int
+		pots     map[int]struct{}
+		days     map[int]struct{}
+		cats     uint8
+	}
+	m := make(map[string]*acc)
+	for _, r := range s.Records() {
+		c := Classify(r)
+		if cat >= 0 && c != Category(cat) {
+			continue
+		}
+		a := m[r.ClientIP]
+		if a == nil {
+			a = &acc{pots: make(map[int]struct{}), days: make(map[int]struct{})}
+			m[r.ClientIP] = a
+		}
+		a.sessions++
+		a.pots[r.HoneypotID] = struct{}{}
+		a.days[s.Day(r.Start)] = struct{}{}
+		a.cats |= 1 << c
+	}
+	out := make([]ClientStat, 0, len(m))
+	for ip, a := range m {
+		out = append(out, ClientStat{
+			IP: ip, Sessions: a.sessions,
+			Honeypots: len(a.pots), ActiveDays: len(a.days),
+			Categories: a.cats,
+		})
+	}
+	return out
+}
+
+// HoneypotsPerClientECDF is Figure 12: the distribution of how many
+// honeypots each client contacts.
+func HoneypotsPerClientECDF(clients []ClientStat) *stats.ECDF {
+	e := new(stats.ECDF)
+	for _, c := range clients {
+		e.Add(float64(c.Honeypots))
+	}
+	e.Sort()
+	return e
+}
+
+// ActiveDaysECDF is Figure 13: the distribution of per-client active
+// days.
+func ActiveDaysECDF(clients []ClientStat) *stats.ECDF {
+	e := new(stats.ECDF)
+	for _, c := range clients {
+		e.Add(float64(c.ActiveDays))
+	}
+	e.Sort()
+	return e
+}
+
+// MultiCategoryShare returns the fraction of client IPs active in more
+// than one category (the paper: "more than 40%").
+func MultiCategoryShare(clients []ClientStat) float64 {
+	if len(clients) == 0 {
+		return 0
+	}
+	multi := 0
+	for _, c := range clients {
+		if c.NumCategoriesSeen() > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(len(clients))
+}
+
+// CountryCount is one country's client population.
+type CountryCount struct {
+	Country string
+	Clients int
+}
+
+// locate resolves a dotted-quad client IP in the registry. The bool is
+// false for unparseable or unallocated addresses.
+func locate(reg *geo.Registry, ip string) (geo.Location, bool) {
+	a, err := netip.ParseAddr(ip)
+	if err != nil {
+		return geo.Location{}, false
+	}
+	return reg.LookupAddr(a)
+}
+
+// ClientCountries is Figure 10/23: unique client IPs per country,
+// optionally restricted to a category set (nil means all). The result is
+// sorted descending by count.
+func ClientCountries(s *store.Store, reg *geo.Registry, cats map[Category]bool) []CountryCount {
+	perCountry := make(map[string]map[string]struct{})
+	for _, r := range s.Records() {
+		if cats != nil && !cats[Classify(r)] {
+			continue
+		}
+		loc, ok := locate(reg, r.ClientIP)
+		if !ok {
+			continue
+		}
+		set := perCountry[loc.Country]
+		if set == nil {
+			set = make(map[string]struct{})
+			perCountry[loc.Country] = set
+		}
+		set[r.ClientIP] = struct{}{}
+	}
+	out := make([]CountryCount, 0, len(perCountry))
+	for c, set := range perCountry {
+		out = append(out, CountryCount{Country: c, Clients: len(set)})
+	}
+	sortCountryCounts(out)
+	return out
+}
+
+func sortCountryCounts(cc []CountryCount) {
+	for i := 1; i < len(cc); i++ {
+		for j := i; j > 0 && (cc[j].Clients > cc[j-1].Clients ||
+			(cc[j].Clients == cc[j-1].Clients && cc[j].Country < cc[j-1].Country)); j-- {
+			cc[j], cc[j-1] = cc[j-1], cc[j]
+		}
+	}
+}
+
+// DailyUniqueClients is Figure 11: per-day unique client IPs for each
+// category.
+func DailyUniqueClients(s *store.Store) [][NumCategories]int {
+	days := s.NumDays()
+	sets := make([][NumCategories]map[string]struct{}, days)
+	for d := range sets {
+		for c := range sets[d] {
+			sets[d][c] = make(map[string]struct{})
+		}
+	}
+	for _, r := range s.Records() {
+		d := s.Day(r.Start)
+		if d < 0 || d >= days {
+			continue
+		}
+		sets[d][Classify(r)][r.ClientIP] = struct{}{}
+	}
+	out := make([][NumCategories]int, days)
+	for d := range sets {
+		for c := range sets[d] {
+			out[d][c] = len(sets[d][c])
+		}
+	}
+	return out
+}
+
+// ComboKey identifies a combination of the three headline categories
+// the paper tracks in Figure 15 (NO_CRED, FAIL_LOG, CMD) as a bitmask:
+// bit 0 = NO_CRED, bit 1 = FAIL_LOG, bit 2 = CMD.
+type ComboKey uint8
+
+// ComboName renders a combo bitmask, e.g. "NO_CRED+CMD".
+func (k ComboKey) String() string {
+	names := []string{"NO_CRED", "FAIL_LOG", "CMD"}
+	s := ""
+	for i, n := range names {
+		if k&(1<<i) != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += n
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// CategoryCombosDaily is Figure 15: for each day, how many client IPs
+// fall into each combination of {NO_CRED, FAIL_LOG, CMD} activity on
+// that same day.
+func CategoryCombosDaily(s *store.Store) []map[ComboKey]int {
+	days := s.NumDays()
+	perDay := make([]map[string]ComboKey, days)
+	for d := range perDay {
+		perDay[d] = make(map[string]ComboKey)
+	}
+	for _, r := range s.Records() {
+		d := s.Day(r.Start)
+		if d < 0 || d >= days {
+			continue
+		}
+		var bit ComboKey
+		switch Classify(r) {
+		case NoCred:
+			bit = 1
+		case FailLog:
+			bit = 2
+		case Cmd, CmdURI:
+			bit = 4
+		default:
+			continue
+		}
+		perDay[d][r.ClientIP] |= bit
+	}
+	out := make([]map[ComboKey]int, days)
+	for d := range perDay {
+		out[d] = make(map[ComboKey]int)
+		for _, k := range perDay[d] {
+			out[d][k]++
+		}
+	}
+	return out
+}
+
+// TotalComboCounts sums Figure 15 over the full period using each IP's
+// all-time combo (the paper: ">700k IPs are only involved in scanning").
+func TotalComboCounts(s *store.Store) map[ComboKey]int {
+	perIP := make(map[string]ComboKey)
+	for _, r := range s.Records() {
+		var bit ComboKey
+		switch Classify(r) {
+		case NoCred:
+			bit = 1
+		case FailLog:
+			bit = 2
+		case Cmd, CmdURI:
+			bit = 4
+		default:
+			continue
+		}
+		perIP[r.ClientIP] |= bit
+	}
+	out := make(map[ComboKey]int)
+	for _, k := range perIP {
+		out[k]++
+	}
+	return out
+}

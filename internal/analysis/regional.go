@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/store"
+)
+
+// RegionClass partitions a client's daily interactions by geographic
+// relationship to the honeypots it contacted, Figure 16's legend.
+type RegionClass uint8
+
+// RegionClass values. A client is classified by the set of relations of
+// its sessions that day.
+const (
+	// OutOnly: every contacted honeypot is on another continent.
+	OutOnly RegionClass = iota
+	// ContinentAndOut: some same-continent, some other-continent, none
+	// in the same country.
+	ContinentAndOut
+	// ContinentOnly: all within the client's continent, none in the same
+	// country.
+	ContinentOnly
+	// CountryMixed: at least one same-country interaction plus others.
+	CountryMixed
+	// CountryOnly: every interaction stays inside the client's country.
+	CountryOnly
+	// NumRegionClasses sizes arrays.
+	NumRegionClasses
+)
+
+var regionClassNames = [...]string{
+	"out-of-continent", "in+out-of-continent", "same-continent",
+	"same-country+other", "same-country-only",
+}
+
+func (c RegionClass) String() string {
+	if int(c) < len(regionClassNames) {
+		return regionClassNames[c]
+	}
+	return "unknown"
+}
+
+// classifyRelations reduces a set of per-session relations to a class.
+func classifyRelations(sawCountry, sawContinent, sawOut bool) RegionClass {
+	switch {
+	case sawCountry && !sawContinent && !sawOut:
+		return CountryOnly
+	case sawCountry:
+		return CountryMixed
+	case sawContinent && sawOut:
+		return ContinentAndOut
+	case sawContinent:
+		return ContinentOnly
+	default:
+		return OutOnly
+	}
+}
+
+// RegionalDiversity is Figure 16: per day, the fraction of clients in
+// each region class, plus the day's client count.
+type RegionalDiversity struct {
+	// Fractions[d][class] sums to 1 for days with clients.
+	Fractions [][NumRegionClasses]float64
+	Clients   []int
+}
+
+// ComputeRegionalDiversity builds Figure 16. deployments supplies each
+// honeypot's location; cats restricts to a category set (nil = all),
+// which produces the CMD+URI variant of Figure 16(b).
+func ComputeRegionalDiversity(s *store.Store, reg *geo.Registry, deployments []geo.Deployment, cats map[Category]bool) RegionalDiversity {
+	days := s.NumDays()
+	potLoc := make([]geo.Location, len(deployments))
+	for i, d := range deployments {
+		if loc, ok := reg.Lookup(d.IP); ok {
+			potLoc[i] = loc
+		}
+	}
+	type flags struct{ country, continent, out bool }
+	perDay := make([]map[string]*flags, days)
+	for d := range perDay {
+		perDay[d] = make(map[string]*flags)
+	}
+	for _, r := range s.Records() {
+		if cats != nil && !cats[Classify(r)] {
+			continue
+		}
+		d := s.Day(r.Start)
+		if d < 0 || d >= days || r.HoneypotID < 0 || r.HoneypotID >= len(potLoc) {
+			continue
+		}
+		cloc, ok := locate(reg, r.ClientIP)
+		if !ok {
+			continue
+		}
+		f := perDay[d][r.ClientIP]
+		if f == nil {
+			f = new(flags)
+			perDay[d][r.ClientIP] = f
+		}
+		switch geo.Relation(cloc, potLoc[r.HoneypotID]) {
+		case geo.SameCountry:
+			f.country = true
+		case geo.SameContinent:
+			f.continent = true
+		case geo.OtherContinent:
+			f.out = true
+		}
+	}
+	rd := RegionalDiversity{
+		Fractions: make([][NumRegionClasses]float64, days),
+		Clients:   make([]int, days),
+	}
+	for d := range perDay {
+		n := len(perDay[d])
+		rd.Clients[d] = n
+		if n == 0 {
+			continue
+		}
+		var counts [NumRegionClasses]int
+		for _, f := range perDay[d] {
+			counts[classifyRelations(f.country, f.continent, f.out)]++
+		}
+		for c := range counts {
+			rd.Fractions[d][c] = float64(counts[c]) / float64(n)
+		}
+	}
+	return rd
+}
+
+// MeanFractions averages Figure 16's daily fractions over the period.
+func (rd RegionalDiversity) MeanFractions() [NumRegionClasses]float64 {
+	var sum [NumRegionClasses]float64
+	n := 0
+	for d := range rd.Fractions {
+		if rd.Clients[d] == 0 {
+			continue
+		}
+		for c := range sum {
+			sum[c] += rd.Fractions[d][c]
+		}
+		n++
+	}
+	if n > 0 {
+		for c := range sum {
+			sum[c] /= float64(n)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,201 @@
+// Package farm orchestrates the honeyfarm: it places N identically
+// configured honeypots across the synthetic Internet's countries and
+// ASes (the paper's deployment: 221 honeypots, 55 countries, 65 ASes),
+// binds each one's SSH and Telnet ports on the in-memory network fabric,
+// and funnels every completed session record into the central collector
+// store. The cmd/honeypot tool runs the same honeypot code over real TCP
+// for a single deployment.
+package farm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/netsim"
+	"honeyfarm/internal/shell"
+	"honeyfarm/internal/store"
+)
+
+// Config configures a honeyfarm.
+type Config struct {
+	// Seed drives honeypot placement and host key generation order.
+	Seed int64
+	// NumPots, NumASes, Countries configure placement; zero values select
+	// the paper's deployment (221 pots, 65 ASes, the 55-country list).
+	NumPots   int
+	NumASes   int
+	Countries []string
+	// Registry is the synthetic Internet; required.
+	Registry *geo.Registry
+	// Epoch is the observation period start for the collector.
+	Epoch time.Time
+	// Fetch resolves download URIs for all honeypots.
+	Fetch shell.FetchFunc
+	// PreAuthTimeout/PostAuthTimeout override the honeypots' timeouts
+	// (useful to compress wire-level experiments).
+	PreAuthTimeout  time.Duration
+	PostAuthTimeout time.Duration
+	// Now supplies record timestamps.
+	Now func() time.Time
+	// Latency is the fabric's connection-establishment latency.
+	Latency time.Duration
+}
+
+// Farm is a running honeyfarm.
+type Farm struct {
+	cfg         Config
+	fabric      *netsim.Fabric
+	deployments []geo.Deployment
+	pots        []*honeypot.Honeypot
+	collector   *store.Store
+
+	mu        sync.Mutex
+	listeners []*netsim.Listener
+	wg        sync.WaitGroup
+	started   bool
+}
+
+// New builds the farm: placement, honeypots, collector. Call Start to
+// bind listeners.
+func New(cfg Config) (*Farm, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("farm: Config.Registry is required")
+	}
+	if cfg.NumPots == 0 {
+		cfg.NumPots = 221
+	}
+	if cfg.NumASes == 0 {
+		cfg.NumASes = 65
+	}
+	// Small farms cannot cover the full 55-country list; shrink the
+	// defaults to match, as the generator does.
+	if cfg.Countries == nil && cfg.NumPots < len(geo.HoneyfarmCountries) {
+		cfg.Countries = geo.HoneyfarmCountries[:cfg.NumPots]
+		if cfg.NumASes > cfg.NumPots {
+			cfg.NumASes = cfg.NumPots
+		}
+	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+	}
+	deployments, err := geo.Place(geo.PlacementConfig{
+		Seed:       cfg.Seed,
+		NumPots:    cfg.NumPots,
+		NumASes:    cfg.NumASes,
+		Countries:  cfg.Countries,
+		Registry:   cfg.Registry,
+		Residental: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("farm: placement: %w", err)
+	}
+	f := &Farm{
+		cfg:         cfg,
+		fabric:      netsim.NewFabric(cfg.Latency),
+		deployments: deployments,
+		collector:   store.New(cfg.Epoch),
+	}
+	for _, d := range deployments {
+		pot, err := honeypot.New(honeypot.Config{
+			ID:              d.ID,
+			Fetch:           cfg.Fetch,
+			PreAuthTimeout:  cfg.PreAuthTimeout,
+			PostAuthTimeout: cfg.PostAuthTimeout,
+			Now:             cfg.Now,
+			Sink:            f.collector.Add,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("farm: honeypot %d: %w", d.ID, err)
+		}
+		f.pots = append(f.pots, pot)
+	}
+	return f, nil
+}
+
+// Deployments returns the farm's placement table.
+func (f *Farm) Deployments() []geo.Deployment { return f.deployments }
+
+// Collector returns the central session store.
+func (f *Farm) Collector() *store.Store { return f.collector }
+
+// Fabric returns the network fabric attackers dial through.
+func (f *Farm) Fabric() *netsim.Fabric { return f.fabric }
+
+// Honeypot returns honeypot i.
+func (f *Farm) Honeypot(i int) *honeypot.Honeypot { return f.pots[i] }
+
+// SSHAddr returns honeypot i's SSH endpoint on the fabric.
+func (f *Farm) SSHAddr(i int) netsim.Addr {
+	return netsim.Addr{IP: geo.Uint32ToAddr(f.deployments[i].IP).String(), Port: 22}
+}
+
+// TelnetAddr returns honeypot i's Telnet endpoint on the fabric.
+func (f *Farm) TelnetAddr(i int) netsim.Addr {
+	return netsim.Addr{IP: geo.Uint32ToAddr(f.deployments[i].IP).String(), Port: 23}
+}
+
+// Start binds every honeypot's SSH and Telnet ports and begins serving.
+func (f *Farm) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("farm: already started")
+	}
+	for i, d := range f.deployments {
+		ip := geo.Uint32ToAddr(d.IP).String()
+		sshL, err := f.fabric.Listen(ip, 22)
+		if err != nil {
+			f.stopLocked()
+			return fmt.Errorf("farm: honeypot %d ssh listen: %w", d.ID, err)
+		}
+		telL, err := f.fabric.Listen(ip, 23)
+		if err != nil {
+			f.stopLocked()
+			return fmt.Errorf("farm: honeypot %d telnet listen: %w", d.ID, err)
+		}
+		f.listeners = append(f.listeners, sshL, telL)
+		pot := f.pots[i]
+		f.serve(sshL, pot.ServeSSH)
+		f.serve(telL, pot.ServeTelnet)
+	}
+	f.started = true
+	return nil
+}
+
+func (f *Farm) serve(l *netsim.Listener, handle func(net.Conn)) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				handle(c)
+			}()
+		}
+	}()
+}
+
+// Stop closes all listeners and waits for in-flight sessions.
+func (f *Farm) Stop() {
+	f.mu.Lock()
+	f.stopLocked()
+	f.started = false
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *Farm) stopLocked() {
+	for _, l := range f.listeners {
+		l.Close()
+	}
+	f.listeners = nil
+}

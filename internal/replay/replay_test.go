@@ -1,0 +1,115 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/farm"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/workload"
+)
+
+// TestReplayAgreement generates a record-level dataset, replays a sample
+// over the wire, and checks that the wire-level honeypots re-derive the
+// same classifications — the central consistency claim between the two
+// execution paths.
+func TestReplayAgreement(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	res, err := workload.Generate(workload.Config{
+		Seed:          3,
+		TotalSessions: 3000,
+		Days:          20,
+		NumPots:       10,
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := farm.New(farm.Config{
+		Seed:      3,
+		NumPots:   10,
+		NumASes:   10,
+		Countries: geo.HoneyfarmCountries[:10],
+		Registry:  reg,
+		Fetch:     func(uri string) ([]byte, error) { return []byte("payload:" + uri), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	r := &Replayer{Farm: f, Concurrency: 8}
+	const stride = 40
+	stats, err := r.ReplaySample(res.Store.Records(), stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replayed < 50 {
+		t.Fatalf("replayed only %d sessions", stats.Replayed)
+	}
+	if stats.Errors > stats.Replayed/10 {
+		t.Fatalf("replay errors: %d of %d", stats.Errors, stats.Replayed)
+	}
+
+	// Wait for the farm to flush its records.
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Collector().Len() < stats.Replayed-stats.Errors && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Compare classification distributions: every replayed category must
+	// appear on the wire side with a similar share (NO_CMD replays end
+	// client-closed rather than timed out, but classify identically).
+	var wire [analysis.NumCategories]int
+	for _, rec := range f.Collector().Records() {
+		wire[analysis.Classify(rec)]++
+	}
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		if stats.ByCategory[c] > 3 && wire[c] == 0 {
+			t.Errorf("category %v: %d replayed but none recorded on the wire", c, stats.ByCategory[c])
+		}
+	}
+	// Aggregate counts line up within the error budget.
+	total := 0
+	for _, n := range wire {
+		total += n
+	}
+	if total < stats.Replayed-stats.Errors {
+		t.Errorf("wire records = %d, want ≥ %d", total, stats.Replayed-stats.Errors)
+	}
+	// CMD replays must reproduce commands; CMD+URI replays must reproduce
+	// URIs (the honeypot's shell re-extracts them from the typed input).
+	sawCmd, sawURI, sawFile := false, false, false
+	for _, rec := range f.Collector().Records() {
+		switch analysis.Classify(rec) {
+		case analysis.Cmd:
+			sawCmd = true
+		case analysis.CmdURI:
+			sawURI = true
+		}
+		if len(rec.Files) > 0 {
+			sawFile = true
+		}
+	}
+	if !sawCmd {
+		t.Error("no wire-level CMD sessions")
+	}
+	if stats.ByCategory[analysis.CmdURI] > 0 && !sawURI {
+		t.Error("no wire-level CMD+URI sessions despite replaying some")
+	}
+	if stats.ByCategory[analysis.CmdURI] > 0 && !sawFile {
+		t.Error("URI replays should produce downloaded-file hashes")
+	}
+}
+
+func TestReplayRequiresFarm(t *testing.T) {
+	r := &Replayer{}
+	if _, err := r.ReplaySample(nil, 1); err == nil {
+		t.Fatal("nil farm should error")
+	}
+}

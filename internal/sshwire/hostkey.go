@@ -1,0 +1,134 @@
+package sshwire
+
+import (
+	"crypto"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"honeyfarm/internal/wire"
+)
+
+// Host key algorithm names.
+const (
+	algoHostKeyRSA = "rsa-sha2-256"
+	algoKeyFmtRSA  = "ssh-rsa" // key blob format name (RFC 4253 §6.6)
+)
+
+// HostSigner abstracts the server's host key: ed25519 (default) or RSA.
+type HostSigner interface {
+	// Algo is the signature algorithm name advertised in KEXINIT.
+	Algo() string
+	// PublicBlob is the wire-format public key (K_S).
+	PublicBlob() []byte
+	// Sign returns the wire-format signature blob over data.
+	Sign(data []byte) ([]byte, error)
+}
+
+// ed25519Signer wraps an ed25519 private key.
+type ed25519Signer struct{ key ed25519.PrivateKey }
+
+// NewEd25519Signer wraps an ed25519 host key.
+func NewEd25519Signer(key ed25519.PrivateKey) HostSigner { return ed25519Signer{key} }
+
+func (s ed25519Signer) Algo() string { return algoHostKey }
+
+func (s ed25519Signer) PublicBlob() []byte {
+	return hostKeyBlob(s.key.Public().(ed25519.PublicKey))
+}
+
+func (s ed25519Signer) Sign(data []byte) ([]byte, error) {
+	return signatureBlob(ed25519.Sign(s.key, data)), nil
+}
+
+// rsaSigner wraps an RSA private key, signing with SHA-256 (RFC 8332).
+type rsaSigner struct{ key *rsa.PrivateKey }
+
+// NewRSASigner wraps an RSA host key.
+func NewRSASigner(key *rsa.PrivateKey) HostSigner { return rsaSigner{key} }
+
+func (s rsaSigner) Algo() string { return algoHostKeyRSA }
+
+func (s rsaSigner) PublicBlob() []byte {
+	pub := &s.key.PublicKey
+	b := wire.NewBuilder(512)
+	b.Text(algoKeyFmtRSA)
+	b.MPInt(big.NewInt(int64(pub.E)))
+	b.MPInt(pub.N)
+	return b.Bytes()
+}
+
+func (s rsaSigner) Sign(data []byte) ([]byte, error) {
+	sum := sha256.Sum256(data)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, s.key, crypto.SHA256, sum[:])
+	if err != nil {
+		return nil, fmt.Errorf("sshwire: rsa signing: %w", err)
+	}
+	b := wire.NewBuilder(len(sig) + 32)
+	b.Text(algoHostKeyRSA)
+	b.String(sig)
+	return b.Bytes(), nil
+}
+
+// verifyHostSignature checks a signature blob against a host key blob
+// for the negotiated algorithm.
+func verifyHostSignature(hostKeyAlgo string, keyBlob, sigBlob, data []byte) error {
+	switch hostKeyAlgo {
+	case algoHostKey: // ssh-ed25519
+		pub, err := parseHostKeyBlob(keyBlob)
+		if err != nil {
+			return err
+		}
+		sig, err := parseSignatureBlob(sigBlob)
+		if err != nil {
+			return err
+		}
+		if !ed25519.Verify(pub, data, sig) {
+			return errors.New("sshwire: ed25519 host signature verification failed")
+		}
+		return nil
+	case algoHostKeyRSA:
+		pub, err := parseRSAKeyBlob(keyBlob)
+		if err != nil {
+			return err
+		}
+		r := wire.NewReader(sigBlob)
+		if algo := r.Text(); algo != algoHostKeyRSA {
+			return fmt.Errorf("sshwire: unexpected signature algorithm %q", algo)
+		}
+		sig := r.String()
+		if r.Err() != nil {
+			return errors.New("sshwire: malformed rsa signature blob")
+		}
+		sum := sha256.Sum256(data)
+		if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, sum[:], sig); err != nil {
+			return fmt.Errorf("sshwire: rsa host signature verification failed: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("sshwire: unsupported host key algorithm %q", hostKeyAlgo)
+}
+
+// parseRSAKeyBlob extracts an RSA public key from an ssh-rsa blob.
+func parseRSAKeyBlob(blob []byte) (*rsa.PublicKey, error) {
+	r := wire.NewReader(blob)
+	if fmtName := r.Text(); fmtName != algoKeyFmtRSA {
+		return nil, fmt.Errorf("sshwire: unsupported key format %q", fmtName)
+	}
+	e := r.MPInt()
+	n := r.MPInt()
+	if r.Err() != nil {
+		return nil, errors.New("sshwire: malformed ssh-rsa key blob")
+	}
+	if !e.IsInt64() || e.Int64() < 3 || e.Int64() > 1<<31 {
+		return nil, errors.New("sshwire: rsa exponent out of range")
+	}
+	if n.BitLen() < 1024 || n.BitLen() > 16384 {
+		return nil, fmt.Errorf("sshwire: rsa modulus %d bits out of range", n.BitLen())
+	}
+	return &rsa.PublicKey{N: n, E: int(e.Int64())}, nil
+}

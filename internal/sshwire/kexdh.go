@@ -1,0 +1,150 @@
+package sshwire
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"honeyfarm/internal/wire"
+)
+
+// algoKexDH14 is diffie-hellman-group14-sha256 (RFC 8268): the 2048-bit
+// MODP group 14 of RFC 3526 with SHA-256, widely offered by the older
+// bot toolchains the paper's honeypots face.
+const algoKexDH14 = "diffie-hellman-group14-sha256"
+
+// group14P is the RFC 3526 group 14 prime (2048 bits); the generator is 2.
+var group14P, _ = new(big.Int).SetString(
+	"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"+
+		"29024E088A67CC74020BBEA63B139B22514A08798E3404DD"+
+		"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"+
+		"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"+
+		"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"+
+		"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"+
+		"83655D23DCA3AD961C62F356208552BB9ED529077096966D"+
+		"670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"+
+		"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"+
+		"DE2BCBF6955817183995497CEA956AE515D2261898FA0510"+
+		"15728E5A8AACAA68FFFFFFFFFFFFFFFF", 16)
+
+var group14G = big.NewInt(2)
+
+// dhKeyPair generates a private exponent and the corresponding public
+// value g^x mod p.
+func dhKeyPair() (x, e *big.Int, err error) {
+	// 256-bit exponent: ample for a 2048-bit group at a 128-bit level.
+	limit := new(big.Int).Lsh(big.NewInt(1), 256)
+	x, err = rand.Int(rand.Reader, limit)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sshwire: dh exponent: %w", err)
+	}
+	if x.Sign() == 0 {
+		x = big.NewInt(1)
+	}
+	return x, new(big.Int).Exp(group14G, x, group14P), nil
+}
+
+// dhShared validates the peer value and computes the shared secret.
+func dhShared(x, peer *big.Int) (*big.Int, error) {
+	if peer.Cmp(big.NewInt(1)) <= 0 || peer.Cmp(new(big.Int).Sub(group14P, big.NewInt(1))) >= 0 {
+		return nil, errors.New("sshwire: dh peer value out of range")
+	}
+	return new(big.Int).Exp(peer, x, group14P), nil
+}
+
+// exchangeHashDH computes H for DH kex methods: e, f, K are mpints
+// (RFC 4253 §8), unlike the string-encoded points of ECDH.
+func exchangeHashDH(clientVersion, serverVersion string, clientKexInit, serverKexInit, hostKey []byte, e, f, k *big.Int) []byte {
+	b := wire.NewBuilder(2048)
+	b.Text(clientVersion)
+	b.Text(serverVersion)
+	b.String(clientKexInit)
+	b.String(serverKexInit)
+	b.String(hostKey)
+	b.MPInt(e)
+	b.MPInt(f)
+	b.MPInt(k)
+	sum := sha256.Sum256(b.Bytes())
+	return sum[:]
+}
+
+// serverKexDH runs the server side of group14 kex after KEXINIT
+// exchange: read KEXDH_INIT (e), reply with K_S, f, signature.
+func serverKexDH(t *transport, signer HostSigner, clientInit, serverInit *kexInit) (secret, h []byte, err error) {
+	payload, err := t.readPacket()
+	if err != nil {
+		return nil, nil, err
+	}
+	if payload[0] != msgKexECDHInit { // SSH_MSG_KEXDH_INIT shares number 30
+		return nil, nil, fmt.Errorf("sshwire: expected KEXDH_INIT, got %d", payload[0])
+	}
+	r := wire.NewReader(payload[1:])
+	e := r.MPInt()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	x, f, err := dhKeyPair()
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := dhShared(x, e)
+	if err != nil {
+		t.sendDisconnect(disconnectKexFailed, err.Error())
+		return nil, nil, err
+	}
+	pubBlob := signer.PublicBlob()
+	h = exchangeHashDH(t.remoteVersion, t.localVersion, clientInit.raw, serverInit.raw, pubBlob, e, f, k)
+	sig, err := signer.Sign(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := wire.NewBuilder(1024)
+	b.Byte(msgKexECDHReply).String(pubBlob).MPInt(f).String(sig)
+	if err := t.writePacket(b.Bytes()); err != nil {
+		return nil, nil, err
+	}
+	return k.Bytes(), h, nil
+}
+
+// clientKexDH runs the client side of group14 kex.
+func clientKexDH(t *transport, cfg *ClientConfig, hostKeyAlgo string, clientInit, serverInit *kexInit) (secret, h []byte, err error) {
+	x, e, err := dhKeyPair()
+	if err != nil {
+		return nil, nil, err
+	}
+	b := wire.NewBuilder(512)
+	b.Byte(msgKexECDHInit).MPInt(e)
+	if err := t.writePacket(b.Bytes()); err != nil {
+		return nil, nil, err
+	}
+	payload, err := t.readPacket()
+	if err != nil {
+		return nil, nil, err
+	}
+	if payload[0] != msgKexECDHReply {
+		return nil, nil, fmt.Errorf("sshwire: expected KEXDH_REPLY, got %d", payload[0])
+	}
+	r := wire.NewReader(payload[1:])
+	hostKeyRaw := r.String()
+	f := r.MPInt()
+	sigRaw := r.String()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := checkHostKey(cfg, hostKeyAlgo, hostKeyRaw); err != nil {
+		t.sendDisconnect(disconnectHostKeyNotVerifiable, "host key rejected")
+		return nil, nil, err
+	}
+	k, err := dhShared(x, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	h = exchangeHashDH(t.localVersion, t.remoteVersion, clientInit.raw, serverInit.raw, hostKeyRaw, e, f, k)
+	if err := verifyHostSignature(hostKeyAlgo, hostKeyRaw, sigRaw, h); err != nil {
+		t.sendDisconnect(disconnectHostKeyNotVerifiable, "signature verification failed")
+		return nil, nil, err
+	}
+	return k.Bytes(), h, nil
+}

@@ -1,0 +1,82 @@
+// Package sshwire is a from-scratch implementation of the SSH-2 protocol
+// subset a Cowrie-class honeypot needs, built only on the Go standard
+// library: the binary packet protocol and algorithm negotiation of RFC
+// 4253, curve25519-sha256 key exchange (RFC 8731), ssh-ed25519 host keys
+// (RFC 8709), aes128-ctr encryption (RFC 4344) with hmac-sha2-256 (RFC
+// 6668), password authentication (RFC 4252), and the connection protocol's
+// session channels with pty-req/shell/exec requests (RFC 4254).
+//
+// Both roles are implemented: the honeypot runs the server, and the
+// simulated attackers (and the cmd/attack tool) run the client. The same
+// transport code drives both, so every integration test exercises the two
+// sides against each other byte-for-byte.
+package sshwire
+
+// Message numbers (RFC 4253 §12, RFC 4252 §6, RFC 4254 §9).
+const (
+	msgDisconnect     = 1
+	msgIgnore         = 2
+	msgUnimplemented  = 3
+	msgDebug          = 4
+	msgServiceRequest = 5
+	msgServiceAccept  = 6
+
+	msgKexInit = 20
+	msgNewKeys = 21
+
+	msgKexECDHInit  = 30
+	msgKexECDHReply = 31
+
+	msgUserauthRequest = 50
+	msgUserauthFailure = 51
+	msgUserauthSuccess = 52
+	msgUserauthBanner  = 53
+
+	msgGlobalRequest  = 80
+	msgRequestSuccess = 81
+	msgRequestFailure = 82
+
+	msgChannelOpen           = 90
+	msgChannelOpenConfirm    = 91
+	msgChannelOpenFailure    = 92
+	msgChannelWindowAdjust   = 93
+	msgChannelData           = 94
+	msgChannelExtendedData   = 95
+	msgChannelEOF            = 96
+	msgChannelClose          = 97
+	msgChannelRequest        = 98
+	msgChannelRequestSuccess = 99
+	msgChannelRequestFailure = 100
+)
+
+// Disconnect reason codes (RFC 4253 §11.1).
+const (
+	disconnectProtocolError        = 2
+	disconnectServiceNotAvailable  = 7
+	disconnectNoMoreAuthMethods    = 14
+	disconnectByApplication        = 11
+	disconnectKexFailed            = 3
+	disconnectHostKeyNotVerifiable = 9
+)
+
+// Channel open failure reason codes (RFC 4254 §5.1).
+const (
+	openAdministrativelyProhibited = 1
+	openUnknownChannelType         = 3
+)
+
+// Algorithm names: the single suite this implementation speaks.
+const (
+	algoKex     = "curve25519-sha256"
+	algoKexLibC = "curve25519-sha256@libssh.org" // pre-RFC alias, same algorithm
+	algoHostKey = "ssh-ed25519"
+	algoCipher  = "aes128-ctr"
+	algoMAC     = "hmac-sha2-256"
+	algoNone    = "none"
+)
+
+// Service names.
+const (
+	serviceUserauth   = "ssh-userauth"
+	serviceConnection = "ssh-connection"
+)

@@ -1,0 +1,304 @@
+package sshwire
+
+import (
+	"bufio"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"honeyfarm/internal/wire"
+)
+
+// Transport-level limits (RFC 4253 §6.1).
+const (
+	maxPacketLen   = 35000
+	minPaddingLen  = 4
+	plainBlockSize = 8
+	aesBlockSize   = 16
+)
+
+// ErrDisconnected is returned when the peer sent SSH_MSG_DISCONNECT.
+var ErrDisconnected = errors.New("sshwire: peer disconnected")
+
+// DisconnectError carries the peer's disconnect reason.
+type DisconnectError struct {
+	Reason  uint32
+	Message string
+}
+
+func (e *DisconnectError) Error() string {
+	return fmt.Sprintf("sshwire: disconnected by peer: %s (reason %d)", e.Message, e.Reason)
+}
+
+// Is reports that any DisconnectError matches ErrDisconnected.
+func (e *DisconnectError) Is(target error) bool { return target == ErrDisconnected }
+
+// direction holds one direction's active cryptographic state.
+type direction struct {
+	stream cipher.Stream
+	mac    hash.Hash
+	seq    uint32
+}
+
+// transport implements the SSH binary packet protocol over a net.Conn.
+// Reads and writes may proceed concurrently (one reader, one writer).
+type transport struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	read    direction
+	write   direction
+
+	// pendingWrite/pendingRead hold keys negotiated during a key exchange,
+	// activated when NEWKEYS is sent/received.
+	pendingWrite *direction
+	pendingRead  *direction
+
+	localVersion  string
+	remoteVersion string
+}
+
+func newTransport(conn net.Conn) *transport {
+	return &transport{conn: conn, br: bufio.NewReaderSize(conn, 4096)}
+}
+
+// exchangeVersions sends our identification string and reads the peer's
+// (RFC 4253 §4.2). Pre-version banner lines from the server are skipped
+// on the client side.
+func (t *transport) exchangeVersions(local string, client bool) error {
+	t.localVersion = local
+	if _, err := io.WriteString(t.conn, local+"\r\n"); err != nil {
+		return fmt.Errorf("sshwire: writing version: %w", err)
+	}
+	for i := 0; i < 32; i++ { // bounded banner skip
+		line, err := t.readLine()
+		if err != nil {
+			return fmt.Errorf("sshwire: reading version: %w", err)
+		}
+		if strings.HasPrefix(line, "SSH-") {
+			if !strings.HasPrefix(line, "SSH-2.0-") && !strings.HasPrefix(line, "SSH-1.99-") {
+				return fmt.Errorf("sshwire: unsupported protocol version %q", line)
+			}
+			t.remoteVersion = line
+			return nil
+		}
+		if !client {
+			return fmt.Errorf("sshwire: client sent non-version line %q", line)
+		}
+	}
+	return errors.New("sshwire: no version line within banner limit")
+}
+
+func (t *transport) readLine() (string, error) {
+	var b strings.Builder
+	for b.Len() < 1024 {
+		c, err := t.br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if c == '\n' {
+			return strings.TrimSuffix(b.String(), "\r"), nil
+		}
+		b.WriteByte(c)
+	}
+	return "", errors.New("sshwire: identification line too long")
+}
+
+// writePacket sends one SSH packet containing payload.
+func (t *transport) writePacket(payload []byte) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+
+	block := plainBlockSize
+	if t.write.stream != nil {
+		block = aesBlockSize
+	}
+	// packet_length(4) + padding_length(1) + payload + padding ≡ 0 mod block
+	padding := block - (5+len(payload))%block
+	if padding < minPaddingLen {
+		padding += block
+	}
+	length := 1 + len(payload) + padding
+
+	packet := make([]byte, 4+1+len(payload)+padding)
+	binary.BigEndian.PutUint32(packet, uint32(length))
+	packet[4] = byte(padding)
+	copy(packet[5:], payload)
+	if _, err := rand.Read(packet[5+len(payload):]); err != nil {
+		return fmt.Errorf("sshwire: random padding: %w", err)
+	}
+
+	var macSum []byte
+	if t.write.mac != nil {
+		t.write.mac.Reset()
+		var seq [4]byte
+		binary.BigEndian.PutUint32(seq[:], t.write.seq)
+		t.write.mac.Write(seq[:])
+		t.write.mac.Write(packet)
+		macSum = t.write.mac.Sum(nil)
+	}
+	if t.write.stream != nil {
+		t.write.stream.XORKeyStream(packet, packet)
+	}
+	t.write.seq++
+
+	if _, err := t.conn.Write(packet); err != nil {
+		return fmt.Errorf("sshwire: writing packet: %w", err)
+	}
+	if macSum != nil {
+		if _, err := t.conn.Write(macSum); err != nil {
+			return fmt.Errorf("sshwire: writing MAC: %w", err)
+		}
+	}
+	return nil
+}
+
+// readPacket reads one SSH packet and returns its payload. Transparent
+// messages (IGNORE, DEBUG) are consumed internally; DISCONNECT returns a
+// DisconnectError.
+func (t *transport) readPacket() ([]byte, error) {
+	for {
+		payload, err := t.readPacketRaw()
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) == 0 {
+			return nil, errors.New("sshwire: empty packet payload")
+		}
+		switch payload[0] {
+		case msgIgnore, msgDebug:
+			continue
+		case msgDisconnect:
+			r := wire.NewReader(payload[1:])
+			reason := r.Uint32()
+			msg := r.Text()
+			return nil, &DisconnectError{Reason: reason, Message: msg}
+		case msgUnimplemented:
+			continue
+		}
+		return payload, nil
+	}
+}
+
+func (t *transport) readPacketRaw() ([]byte, error) {
+	t.readMu.Lock()
+	defer t.readMu.Unlock()
+
+	block := plainBlockSize
+	if t.read.stream != nil {
+		block = aesBlockSize
+	}
+	first := make([]byte, block)
+	if _, err := io.ReadFull(t.br, first); err != nil {
+		return nil, err
+	}
+	if t.read.stream != nil {
+		t.read.stream.XORKeyStream(first, first)
+	}
+	length := binary.BigEndian.Uint32(first)
+	if length > maxPacketLen || length < 1 {
+		return nil, fmt.Errorf("sshwire: invalid packet length %d", length)
+	}
+	total := 4 + int(length)
+	if total%block != 0 {
+		return nil, fmt.Errorf("sshwire: packet length %d not a multiple of block size", total)
+	}
+	rest := make([]byte, total-block)
+	if _, err := io.ReadFull(t.br, rest); err != nil {
+		return nil, err
+	}
+	if t.read.stream != nil {
+		t.read.stream.XORKeyStream(rest, rest)
+	}
+	packet := append(first, rest...)
+
+	if t.read.mac != nil {
+		sum := make([]byte, t.read.mac.Size())
+		if _, err := io.ReadFull(t.br, sum); err != nil {
+			return nil, err
+		}
+		t.read.mac.Reset()
+		var seq [4]byte
+		binary.BigEndian.PutUint32(seq[:], t.read.seq)
+		t.read.mac.Write(seq[:])
+		t.read.mac.Write(packet)
+		if subtle.ConstantTimeCompare(sum, t.read.mac.Sum(nil)) != 1 {
+			return nil, errors.New("sshwire: MAC verification failed")
+		}
+	}
+	t.read.seq++
+
+	padding := int(packet[4])
+	if padding < minPaddingLen || 5+padding > len(packet) {
+		return nil, fmt.Errorf("sshwire: invalid padding length %d", padding)
+	}
+	return packet[5 : len(packet)-padding], nil
+}
+
+// keys holds one direction's derived key material.
+type keys struct {
+	iv, key, macKey []byte
+}
+
+// prepareKeys stages new cryptographic state; it becomes active on
+// NEWKEYS via activateWrite/activateRead.
+func (t *transport) prepareKeys(write, read keys) error {
+	mkDir := func(k keys) (*direction, error) {
+		blk, err := aes.NewCipher(k.key)
+		if err != nil {
+			return nil, err
+		}
+		return &direction{
+			stream: cipher.NewCTR(blk, k.iv),
+			mac:    hmac.New(sha256.New, k.macKey),
+		}, nil
+	}
+	w, err := mkDir(write)
+	if err != nil {
+		return err
+	}
+	r, err := mkDir(read)
+	if err != nil {
+		return err
+	}
+	t.pendingWrite, t.pendingRead = w, r
+	return nil
+}
+
+func (t *transport) activateWrite() {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	t.pendingWrite.seq = t.write.seq
+	t.write = *t.pendingWrite
+	t.pendingWrite = nil
+}
+
+func (t *transport) activateRead() {
+	t.readMu.Lock()
+	defer t.readMu.Unlock()
+	t.pendingRead.seq = t.read.seq
+	t.read = *t.pendingRead
+	t.pendingRead = nil
+}
+
+// sendDisconnect notifies the peer and is best-effort.
+func (t *transport) sendDisconnect(reason uint32, message string) {
+	b := wire.NewBuilder(64)
+	b.Byte(msgDisconnect).Uint32(reason).Text(message).Text("")
+	_ = t.writePacket(b.Bytes())
+}
+
+func (t *transport) Close() error { return t.conn.Close() }

@@ -1,0 +1,156 @@
+// Package store implements the honeyfarm's central collector database:
+// a concurrency-safe, append-only store of session records with a JSONL
+// on-disk codec and day-bucketed time indexing. The paper's honeyfarm
+// shipped every session summary from 221 honeypots to one collector and
+// analyzed the data "in situ"; this package is that collector.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"honeyfarm/internal/honeypot"
+)
+
+// Store collects session records. The zero value is not usable; create
+// with New. All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	recs  []*honeypot.SessionRecord
+	epoch time.Time
+}
+
+// New creates a store whose day buckets are counted from epoch (the
+// observation period's first day, e.g. the paper's 2021-12-01).
+func New(epoch time.Time) *Store {
+	return &Store{epoch: epoch.Truncate(24 * time.Hour)}
+}
+
+// Epoch returns the observation period start.
+func (s *Store) Epoch() time.Time { return s.epoch }
+
+// Add appends one record.
+func (s *Store) Add(rec *honeypot.SessionRecord) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+// AddBatch appends many records with one lock acquisition.
+func (s *Store) AddBatch(recs []*honeypot.SessionRecord) {
+	s.mu.Lock()
+	s.recs = append(s.recs, recs...)
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Records returns a snapshot slice of all records. The slice is shared;
+// callers must not mutate the records.
+func (s *Store) Records() []*honeypot.SessionRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recs[:len(s.recs):len(s.recs)]
+}
+
+// Day returns the day bucket of a timestamp relative to the epoch.
+// Timestamps before the epoch yield negative days.
+func (s *Store) Day(t time.Time) int {
+	d := t.Sub(s.epoch)
+	day := int(d / (24 * time.Hour))
+	if d < 0 && d%(24*time.Hour) != 0 {
+		day-- // floor division for pre-epoch timestamps
+	}
+	return day
+}
+
+// NumDays returns one past the highest day bucket present.
+func (s *Store) NumDays() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	max := -1
+	for _, r := range s.recs {
+		if d := s.Day(r.Start); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Filter returns the records matching pred, in insertion order.
+func (s *Store) Filter(pred func(*honeypot.SessionRecord) bool) []*honeypot.SessionRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*honeypot.SessionRecord
+	for _, r := range s.recs {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// jsonlHeader is the first line of a JSONL dump, carrying store metadata.
+type jsonlHeader struct {
+	Format string    `json:"format"`
+	Epoch  time.Time `json:"epoch"`
+	Count  int       `json:"count"`
+}
+
+const formatName = "honeyfarm-sessions-v1"
+
+// WriteJSONL streams the store as JSON Lines: a header line followed by
+// one record per line.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Format: formatName, Epoch: s.epoch, Count: len(s.recs)}); err != nil {
+		return fmt.Errorf("store: writing header: %w", err)
+	}
+	for i, r := range s.recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("store: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a store previously written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	dec := json.NewDecoder(br)
+	var hdr jsonlHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	if hdr.Format != formatName {
+		return nil, fmt.Errorf("store: unknown format %q", hdr.Format)
+	}
+	s := New(hdr.Epoch)
+	s.recs = make([]*honeypot.SessionRecord, 0, hdr.Count)
+	for {
+		rec := new(honeypot.SessionRecord)
+		if err := dec.Decode(rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("store: reading record %d: %w", len(s.recs), err)
+		}
+		s.recs = append(s.recs, rec)
+	}
+	if hdr.Count != 0 && len(s.recs) != hdr.Count {
+		return nil, fmt.Errorf("store: header promised %d records, found %d", hdr.Count, len(s.recs))
+	}
+	return s, nil
+}

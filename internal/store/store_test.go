@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"honeyfarm/internal/honeypot"
+)
+
+var epoch = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(day int, pot int, ip string) *honeypot.SessionRecord {
+	start := epoch.Add(time.Duration(day) * 24 * time.Hour).Add(3 * time.Hour)
+	return &honeypot.SessionRecord{
+		HoneypotID: pot,
+		ClientIP:   ip,
+		Start:      start,
+		End:        start.Add(30 * time.Second),
+		Protocol:   honeypot.SSH,
+	}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	s := New(epoch)
+	s.Add(rec(0, 1, "1.1.1.1"))
+	s.AddBatch([]*honeypot.SessionRecord{rec(1, 2, "2.2.2.2"), rec(5, 1, "1.1.1.1")})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.NumDays() != 6 {
+		t.Errorf("NumDays = %d, want 6", s.NumDays())
+	}
+	got := s.Filter(func(r *honeypot.SessionRecord) bool { return r.HoneypotID == 1 })
+	if len(got) != 2 {
+		t.Errorf("filter = %d records", len(got))
+	}
+}
+
+func TestDayBuckets(t *testing.T) {
+	s := New(epoch)
+	if d := s.Day(epoch.Add(36 * time.Hour)); d != 1 {
+		t.Errorf("Day(+36h) = %d, want 1", d)
+	}
+	if d := s.Day(epoch); d != 0 {
+		t.Errorf("Day(epoch) = %d, want 0", d)
+	}
+	if d := s.Day(epoch.Add(-time.Hour)); d >= 0 {
+		t.Errorf("Day(before epoch) = %d, want negative", d)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := New(epoch)
+	r1 := rec(0, 3, "9.9.9.9")
+	r1.Logins = []honeypot.LoginAttempt{{User: "root", Password: "1234", Success: true}}
+	r1.Commands = []honeypot.CommandRecord{{Input: "uname -a", Known: true}}
+	r1.URIs = []string{"http://evil.example/x"}
+	r1.Files = []honeypot.FileRecord{{Path: "/tmp/x", Hash: "abc", Op: "create", Size: 10}}
+	r1.ClientVersion = "SSH-2.0-test"
+	s.Add(r1)
+	s.Add(rec(2, 4, "8.8.8.8"))
+
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("jsonl lines = %d, want 3 (header + 2 records)", lines)
+	}
+
+	loaded, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 || !loaded.Epoch().Equal(s.Epoch()) {
+		t.Fatalf("loaded len=%d epoch=%v", loaded.Len(), loaded.Epoch())
+	}
+	got := loaded.Records()[0]
+	if got.Logins[0].Password != "1234" || got.Commands[0].Input != "uname -a" ||
+		got.URIs[0] != "http://evil.example/x" || got.Files[0].Hash != "abc" {
+		t.Errorf("record fields lost: %+v", got)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"format":"other"}` + "\n")); err == nil {
+		t.Error("wrong format should fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"format":"honeyfarm-sessions-v1","count":5}` + "\n")); err == nil {
+		t.Error("count mismatch should fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"format":"honeyfarm-sessions-v1","count":1}` + "\n" + "not-json\n")); err == nil {
+		t.Error("garbage record should fail")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	s := New(epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Add(rec(j%10, n, "1.2.3.4"))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+}
+
+func TestRecordsSnapshotIsStable(t *testing.T) {
+	s := New(epoch)
+	s.Add(rec(0, 1, "1.1.1.1"))
+	snap := s.Records()
+	s.Add(rec(1, 2, "2.2.2.2"))
+	if len(snap) != 1 {
+		t.Errorf("snapshot grew: %d", len(snap))
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(epoch)
+	r := rec(0, 1, "1.1.1.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(r)
+	}
+}
+
+func BenchmarkJSONLWrite(b *testing.B) {
+	s := New(epoch)
+	for i := 0; i < 10000; i++ {
+		s.Add(rec(i%480, i%221, "1.2.3.4"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := s.WriteJSONL(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONLPreservesTranscript(t *testing.T) {
+	s := New(epoch)
+	r := rec(0, 1, "1.1.1.1")
+	r.Transcript = []byte("root@svr04:~# uname -a\r\nLinux svr04\r\n\x00\xff binary ok")
+	s.Add(r)
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Records()[0].Transcript
+	if !bytes.Equal(got, r.Transcript) {
+		t.Errorf("transcript lost: %q vs %q", got, r.Transcript)
+	}
+}

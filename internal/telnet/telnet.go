@@ -1,0 +1,347 @@
+// Package telnet implements the Telnet protocol subset (RFC 854/857/858)
+// that a Cowrie-class honeypot serves on port 23 and that IoT botnets
+// such as Mirai speak when brute-forcing devices: IAC option negotiation,
+// a login/password prompt flow, and a line-oriented data stream with IAC
+// escaping. Both server and client roles are provided.
+package telnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// Telnet protocol bytes.
+const (
+	cmdSE   = 240
+	cmdSB   = 250
+	cmdWILL = 251
+	cmdWONT = 252
+	cmdDO   = 253
+	cmdDONT = 254
+	cmdIAC  = 255
+)
+
+// Option codes we reference.
+const (
+	optEcho            = 1
+	optSuppressGoAhead = 3
+)
+
+// ErrTooManyTries is returned when the client exhausts its login attempts.
+var ErrTooManyTries = errors.New("telnet: too many failed login attempts")
+
+// AuthAttempt records one login attempt at the telnet prompt.
+type AuthAttempt struct {
+	User     string
+	Password string
+	Accepted bool
+}
+
+// Conn wraps a net.Conn with telnet IAC processing: negotiation commands
+// are consumed (and answered on the server side), data bytes pass
+// through, and writes escape IAC bytes.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	server bool
+}
+
+// NewConn wraps nc. Server connections answer negotiation; clients
+// refuse all options.
+func NewConn(nc net.Conn, server bool) *Conn {
+	return &Conn{nc: nc, br: bufio.NewReaderSize(nc, 1024), server: server}
+}
+
+// NetConn returns the underlying connection (for deadline control).
+func (c *Conn) NetConn() net.Conn { return c.nc }
+
+// ReadByte returns the next data byte, transparently handling IAC
+// sequences.
+func (c *Conn) ReadByte() (byte, error) {
+	for {
+		b, err := c.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b != cmdIAC {
+			return b, nil
+		}
+		cmd, err := c.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch cmd {
+		case cmdIAC:
+			return cmdIAC, nil // escaped 0xFF data byte
+		case cmdWILL, cmdWONT, cmdDO, cmdDONT:
+			opt, err := c.br.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			if err := c.answer(cmd, opt); err != nil {
+				return 0, err
+			}
+		case cmdSB:
+			// Skip subnegotiation until IAC SE.
+			var prev byte
+			for {
+				x, err := c.br.ReadByte()
+				if err != nil {
+					return 0, err
+				}
+				if prev == cmdIAC && x == cmdSE {
+					break
+				}
+				prev = x
+			}
+		default:
+			// Other commands (NOP, AYT, ...) are ignored.
+		}
+	}
+}
+
+// answer implements a minimal negotiation policy: the server agrees to
+// ECHO and SUPPRESS-GO-AHEAD (what a real telnetd offers) and refuses
+// everything else; the client refuses everything.
+func (c *Conn) answer(cmd, opt byte) error {
+	var reply byte
+	switch cmd {
+	case cmdDO:
+		if c.server && (opt == optEcho || opt == optSuppressGoAhead) {
+			reply = cmdWILL
+		} else {
+			reply = cmdWONT
+		}
+	case cmdDONT:
+		reply = cmdWONT
+	case cmdWILL:
+		if c.server {
+			reply = cmdDONT
+		} else {
+			reply = cmdDO // client accepts server options (echo etc.)
+		}
+	case cmdWONT:
+		reply = cmdDONT
+	default:
+		return nil
+	}
+	// Negotiation replies are advisory: if the peer has already closed
+	// (e.g. it disconnected right after login), dropping the reply is
+	// harmless — the data path will surface EOF on the next read.
+	_, _ = c.nc.Write([]byte{cmdIAC, reply, opt})
+	return nil
+}
+
+// ReadLine reads a CR/LF-terminated line of data bytes, tolerating the
+// CR NUL and bare-LF forms bots send. The returned line excludes the
+// terminator.
+func (c *Conn) ReadLine() (string, error) {
+	var b strings.Builder
+	for b.Len() < 4096 {
+		x, err := c.ReadByte()
+		if err != nil {
+			if err == io.EOF && b.Len() > 0 {
+				return b.String(), nil
+			}
+			return "", err
+		}
+		switch x {
+		case '\r':
+			// Peek for \n or NUL and consume it.
+			nx, err := c.br.Peek(1)
+			if err == nil && (nx[0] == '\n' || nx[0] == 0) {
+				_, _ = c.br.ReadByte()
+			}
+			return b.String(), nil
+		case '\n':
+			return b.String(), nil
+		case 0x7f, '\b':
+			// Backspace editing, as interactive bots sometimes emit.
+			s := b.String()
+			if len(s) > 0 {
+				b.Reset()
+				b.WriteString(s[:len(s)-1])
+			}
+		case 0:
+			// NUL padding is ignored.
+		default:
+			b.WriteByte(x)
+		}
+	}
+	return b.String(), nil
+}
+
+// Write sends data bytes, escaping IAC.
+func (c *Conn) Write(p []byte) (int, error) {
+	// Fast path: no IAC bytes.
+	needEscape := false
+	for _, x := range p {
+		if x == cmdIAC {
+			needEscape = true
+			break
+		}
+	}
+	if !needEscape {
+		return c.nc.Write(p)
+	}
+	out := make([]byte, 0, len(p)+8)
+	for _, x := range p {
+		out = append(out, x)
+		if x == cmdIAC {
+			out = append(out, cmdIAC)
+		}
+	}
+	if _, err := c.nc.Write(out); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteString sends a string.
+func (c *Conn) WriteString(s string) error {
+	_, err := c.Write([]byte(s))
+	return err
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// ServerConfig configures the telnet login flow.
+type ServerConfig struct {
+	// Banner is printed before the first login prompt.
+	Banner string
+	// Auth decides whether credentials are accepted. Required.
+	Auth func(user, password string) bool
+	// AuthLog observes every attempt.
+	AuthLog func(AuthAttempt)
+	// MaxTries disconnects after this many failures (default 3,
+	// matching the busybox login default and Cowrie).
+	MaxTries int
+}
+
+// ServerSession is an authenticated telnet session.
+type ServerSession struct {
+	Conn *Conn
+	User string
+}
+
+// Handshake runs the negotiation and login flow on an accepted
+// connection. On success the returned session carries the telnet Conn
+// for the shell loop; on failure the connection is NOT closed (the
+// caller owns it) and the error describes why.
+func Handshake(nc net.Conn, cfg *ServerConfig) (*ServerSession, error) {
+	if cfg.Auth == nil {
+		return nil, errors.New("telnet: ServerConfig requires Auth")
+	}
+	maxTries := cfg.MaxTries
+	if maxTries <= 0 {
+		maxTries = 3
+	}
+	c := NewConn(nc, true)
+	// Offer ECHO + SGA like a real telnetd; clients answer at their leisure
+	// and the answers are consumed by ReadByte during the prompt reads.
+	if _, err := nc.Write([]byte{cmdIAC, cmdWILL, optEcho, cmdIAC, cmdWILL, optSuppressGoAhead}); err != nil {
+		return nil, err
+	}
+	if cfg.Banner != "" {
+		if err := c.WriteString(cfg.Banner + "\r\n"); err != nil {
+			return nil, err
+		}
+	}
+	for try := 0; try < maxTries; try++ {
+		if err := c.WriteString("login: "); err != nil {
+			return nil, err
+		}
+		user, err := c.ReadLine()
+		if err != nil {
+			return nil, fmt.Errorf("telnet: reading username: %w", err)
+		}
+		if err := c.WriteString("Password: "); err != nil {
+			return nil, err
+		}
+		pass, err := c.ReadLine()
+		if err != nil {
+			return nil, fmt.Errorf("telnet: reading password: %w", err)
+		}
+		ok := cfg.Auth(user, pass)
+		if cfg.AuthLog != nil {
+			cfg.AuthLog(AuthAttempt{User: user, Password: pass, Accepted: ok})
+		}
+		if ok {
+			// The "Last login" line doubles as the success marker the
+			// client side keys on, like real bots keying on the motd.
+			if err := c.WriteString("\r\nLast login: Tue Jun  1 12:01:32 UTC 2022 from 10.0.0.2 on pts/0\r\n"); err != nil {
+				return nil, err
+			}
+			return &ServerSession{Conn: c, User: user}, nil
+		}
+		if err := c.WriteString("\r\nLogin incorrect\r\n"); err != nil {
+			return nil, err
+		}
+	}
+	return nil, ErrTooManyTries
+}
+
+// ClientLogin performs the client side of the login flow: waits for the
+// "login:" prompt, sends the username, waits for "Password:", sends the
+// password, and reports whether login succeeded (no "Login incorrect"
+// before the next prompt). The conn stays open either way.
+func ClientLogin(c *Conn, user, password string) (bool, error) {
+	if err := waitFor(c, "login:"); err != nil {
+		return false, err
+	}
+	if err := c.WriteString(user + "\r\n"); err != nil {
+		return false, err
+	}
+	if err := waitFor(c, "Password:"); err != nil {
+		return false, err
+	}
+	if err := c.WriteString(password + "\r\n"); err != nil {
+		return false, err
+	}
+	// Success: the "Last login" motd line. Failure: "Login incorrect".
+	var seen strings.Builder
+	for seen.Len() < 512 {
+		b, err := c.ReadByte()
+		if err != nil {
+			return false, err
+		}
+		seen.WriteByte(b)
+		s := seen.String()
+		if strings.Contains(s, "Login incorrect") {
+			return false, nil
+		}
+		if strings.Contains(s, "Last login") {
+			// Consume the rest of the motd line so the shell stream
+			// starts clean for the caller.
+			for {
+				x, err := c.ReadByte()
+				if err != nil || x == '\n' {
+					break
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, errors.New("telnet: login response not recognized")
+}
+
+// waitFor consumes bytes until the marker appears.
+func waitFor(c *Conn, marker string) error {
+	var seen strings.Builder
+	for seen.Len() < 4096 {
+		b, err := c.ReadByte()
+		if err != nil {
+			return err
+		}
+		seen.WriteByte(b)
+		if strings.Contains(seen.String(), marker) {
+			return nil
+		}
+	}
+	return fmt.Errorf("telnet: marker %q not seen", marker)
+}

@@ -1,0 +1,381 @@
+// Package vfs implements the honeypot's fake filesystem, mirroring
+// Cowrie's "honeyfs": an in-memory Unix-like tree pre-seeded with a
+// plausible Linux system image. Every file creation or modification is
+// recorded with a SHA-256 hash of the file content — these hashes are the
+// campaign signatures the paper analyzes in Section 8 (64,004 unique
+// hashes over 15 months).
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotExist   = errors.New("vfs: no such file or directory")
+	ErrExist      = errors.New("vfs: file exists")
+	ErrNotDir     = errors.New("vfs: not a directory")
+	ErrIsDir      = errors.New("vfs: is a directory")
+	ErrPermission = errors.New("vfs: permission denied")
+)
+
+// FileOp distinguishes creations from modifications in the event stream.
+type FileOp uint8
+
+// FileOp values.
+const (
+	OpCreate FileOp = iota
+	OpModify
+)
+
+func (op FileOp) String() string {
+	if op == OpCreate {
+		return "create"
+	}
+	return "modify"
+}
+
+// FileEvent records one file creation or modification, hash included.
+// This is the unit the paper counts: "about one third [of command
+// sessions] create or modify files, for which the honeypot records a hash
+// of the file content".
+type FileEvent struct {
+	Path string
+	Op   FileOp
+	Hash string // hex SHA-256 of content
+	Size int
+	Time time.Time
+}
+
+// Node is one entry in the tree.
+type Node struct {
+	Name    string
+	Dir     bool
+	Mode    uint32 // permission bits
+	UID     int
+	GID     int
+	Content []byte
+	MTime   time.Time
+
+	children map[string]*Node
+}
+
+// IsDir reports whether the node is a directory.
+func (n *Node) IsDir() bool { return n.Dir }
+
+// Size returns the content length for files, 4096 for directories.
+func (n *Node) Size() int {
+	if n.Dir {
+		return 4096
+	}
+	return len(n.Content)
+}
+
+// FS is a mutable fake filesystem. It is safe for concurrent use; each
+// honeypot session gets its own FS (cloned from a template) so intruders
+// cannot observe each other.
+type FS struct {
+	mu     sync.Mutex
+	root   *Node
+	events []FileEvent
+	now    func() time.Time
+}
+
+// New returns a filesystem pre-seeded with the baseline Linux image.
+// The now function supplies timestamps for recorded events; pass nil for
+// time.Now.
+func New(now func() time.Time) *FS {
+	if now == nil {
+		now = time.Now
+	}
+	fs := &FS{
+		root: &Node{Name: "/", Dir: true, Mode: 0o755, children: map[string]*Node{}},
+		now:  now,
+	}
+	seed(fs)
+	return fs
+}
+
+// Events returns the file events recorded so far, in order.
+func (fs *FS) Events() []FileEvent {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]FileEvent(nil), fs.events...)
+}
+
+// normalize resolves p against cwd into a clean absolute path.
+func normalize(cwd, p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = path.Join(cwd, p)
+	}
+	return path.Clean(p)
+}
+
+// Normalize resolves p against cwd into a clean absolute path. It is the
+// exported form used by the shell for cd and prompt handling.
+func Normalize(cwd, p string) string { return normalize(cwd, p) }
+
+func (fs *FS) lookup(abs string) (*Node, error) {
+	if abs == "/" {
+		return fs.root, nil
+	}
+	parts := strings.Split(strings.TrimPrefix(abs, "/"), "/")
+	n := fs.root
+	for _, part := range parts {
+		if !n.Dir {
+			return nil, ErrNotDir
+		}
+		child, ok := n.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// Stat returns the node at the path (resolved against cwd).
+func (fs *FS) Stat(cwd, p string) (*Node, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.lookup(normalize(cwd, p))
+}
+
+// Exists reports whether a path exists.
+func (fs *FS) Exists(cwd, p string) bool {
+	_, err := fs.Stat(cwd, p)
+	return err == nil
+}
+
+// ReadFile returns the content of a file.
+func (fs *FS) ReadFile(cwd, p string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(normalize(cwd, p))
+	if err != nil {
+		return nil, err
+	}
+	if n.Dir {
+		return nil, ErrIsDir
+	}
+	return n.Content, nil
+}
+
+// List returns the names in a directory, sorted.
+func (fs *FS) List(cwd, p string) ([]*Node, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(normalize(cwd, p))
+	if err != nil {
+		return nil, err
+	}
+	if !n.Dir {
+		return []*Node{n}, nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Node, len(names))
+	for i, name := range names {
+		out[i] = n.children[name]
+	}
+	return out, nil
+}
+
+// Mkdir creates a single directory.
+func (fs *FS) Mkdir(cwd, p string, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	abs := normalize(cwd, p)
+	dir, base := path.Split(abs)
+	parent, err := fs.lookup(path.Clean(dir))
+	if err != nil {
+		return err
+	}
+	if !parent.Dir {
+		return ErrNotDir
+	}
+	if _, ok := parent.children[base]; ok {
+		return ErrExist
+	}
+	parent.children[base] = &Node{Name: base, Dir: true, Mode: mode, MTime: fs.now(), children: map[string]*Node{}}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents. Existing
+// directories are left untouched.
+func (fs *FS) MkdirAll(cwd, p string, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	abs := normalize(cwd, p)
+	if abs == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(abs, "/"), "/")
+	n := fs.root
+	for _, part := range parts {
+		if !n.Dir {
+			return ErrNotDir
+		}
+		child, ok := n.children[part]
+		if !ok {
+			child = &Node{Name: part, Dir: true, Mode: mode, MTime: fs.now(), children: map[string]*Node{}}
+			n.children[part] = child
+		}
+		n = child
+	}
+	if !n.Dir {
+		return ErrNotDir
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a file, records a FileEvent with the
+// SHA-256 of the content, and returns the event.
+func (fs *FS) WriteFile(cwd, p string, content []byte, mode uint32) (FileEvent, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeLocked(cwd, p, content, mode, false)
+}
+
+// AppendFile appends to a file (creating it if needed) and records a
+// FileEvent.
+func (fs *FS) AppendFile(cwd, p string, content []byte, mode uint32) (FileEvent, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeLocked(cwd, p, content, mode, true)
+}
+
+func (fs *FS) writeLocked(cwd, p string, content []byte, mode uint32, appendTo bool) (FileEvent, error) {
+	abs := normalize(cwd, p)
+	dir, base := path.Split(abs)
+	if base == "" {
+		return FileEvent{}, ErrIsDir
+	}
+	parent, err := fs.lookup(path.Clean(dir))
+	if err != nil {
+		return FileEvent{}, err
+	}
+	if !parent.Dir {
+		return FileEvent{}, ErrNotDir
+	}
+	op := OpModify
+	n, ok := parent.children[base]
+	if !ok {
+		op = OpCreate
+		n = &Node{Name: base, Mode: mode}
+		parent.children[base] = n
+	} else if n.Dir {
+		return FileEvent{}, ErrIsDir
+	}
+	if appendTo {
+		n.Content = append(n.Content, content...)
+	} else {
+		n.Content = append([]byte(nil), content...)
+	}
+	n.MTime = fs.now()
+	ev := FileEvent{
+		Path: abs,
+		Op:   op,
+		Hash: HashContent(n.Content),
+		Size: len(n.Content),
+		Time: n.MTime,
+	}
+	fs.events = append(fs.events, ev)
+	return ev, nil
+}
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(cwd, p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	abs := normalize(cwd, p)
+	if abs == "/" {
+		return ErrPermission
+	}
+	dir, base := path.Split(abs)
+	parent, err := fs.lookup(path.Clean(dir))
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.Dir && len(n.children) > 0 {
+		return fmt.Errorf("vfs: directory not empty")
+	}
+	delete(parent.children, base)
+	return nil
+}
+
+// RemoveAll deletes a path recursively; missing paths are not an error.
+func (fs *FS) RemoveAll(cwd, p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	abs := normalize(cwd, p)
+	if abs == "/" {
+		return ErrPermission
+	}
+	dir, base := path.Split(abs)
+	parent, err := fs.lookup(path.Clean(dir))
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	delete(parent.children, base)
+	return nil
+}
+
+// Chmod changes a node's permission bits.
+func (fs *FS) Chmod(cwd, p string, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(normalize(cwd, p))
+	if err != nil {
+		return err
+	}
+	n.Mode = mode
+	return nil
+}
+
+// HashContent returns the hex SHA-256 of content — the hash format the
+// collector stores for every file create/modify.
+func HashContent(content []byte) string {
+	sum := sha256.Sum256(content)
+	return hex.EncodeToString(sum[:])
+}
+
+// Clone returns a deep copy of the filesystem with an empty event log,
+// used to give each session a pristine system image.
+func (fs *FS) Clone() *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return &FS{root: cloneNode(fs.root), now: fs.now}
+}
+
+func cloneNode(n *Node) *Node {
+	c := &Node{
+		Name: n.Name, Dir: n.Dir, Mode: n.Mode, UID: n.UID, GID: n.GID,
+		Content: append([]byte(nil), n.Content...), MTime: n.MTime,
+	}
+	if n.children != nil {
+		c.children = make(map[string]*Node, len(n.children))
+		for name, child := range n.children {
+			c.children[name] = cloneNode(child)
+		}
+	}
+	return c
+}

