@@ -47,7 +47,9 @@ func main() {
 		log.Fatalf("dial: %v", err)
 	}
 	defer nc.Close()
-	_ = nc.SetDeadline(time.Now().Add(*timeout))
+	if err := nc.SetDeadline(time.Now().Add(*timeout)); err != nil {
+		log.Fatalf("setting deadline: %v", err)
+	}
 
 	switch *proto {
 	case "ssh":
@@ -106,8 +108,13 @@ func runSSH(nc net.Conn, user, pass, version string, scan bool, lines []string) 
 		if err := sshwire.RequestExec(sess, lines[0]); err != nil {
 			log.Fatalf("exec: %v", err)
 		}
-		out, _ := io.ReadAll(sess)
-		os.Stdout.Write(out)
+		out, err := io.ReadAll(sess)
+		if err != nil && !sshwire.IsGracefulDisconnect(err) {
+			log.Fatalf("reading exec output: %v", err)
+		}
+		if _, err := os.Stdout.Write(out); err != nil {
+			log.Fatalf("writing output: %v", err)
+		}
 		if status, ok := sess.ExitStatus(); ok {
 			fmt.Fprintf(os.Stderr, "exit status %d\n", status)
 		}
@@ -124,24 +131,37 @@ func runSSH(nc net.Conn, user, pass, version string, scan bool, lines []string) 
 	if err := sshwire.RequestShell(sess); err != nil {
 		log.Fatalf("shell: %v", err)
 	}
+	// The writer runs concurrently with the output reader below; closing
+	// writeDone joins it before the process exits.
+	writeDone := make(chan struct{})
 	go func() {
-		for _, l := range lines {
+		defer close(writeDone)
+		for _, l := range append(lines, "exit") {
 			if _, err := sess.Write([]byte(l + "\n")); err != nil {
+				// The session ended under us; the reader sees the close.
 				return
 			}
 		}
-		_, _ = sess.Write([]byte("exit\n"))
 	}()
-	out, _ := io.ReadAll(sess)
-	os.Stdout.Write(out)
+	out, err := io.ReadAll(sess)
+	<-writeDone
+	if err != nil && !sshwire.IsGracefulDisconnect(err) {
+		log.Fatalf("reading shell output: %v", err)
+	}
+	if _, err := os.Stdout.Write(out); err != nil {
+		log.Fatalf("writing output: %v", err)
+	}
 }
 
 func runTelnet(nc net.Conn, user, pass string, scan bool, lines []string) {
 	c := telnet.NewConn(nc, false)
 	if scan {
-		// Read the banner/prompt and leave.
+		// Read the banner/prompt and leave; an immediate close still
+		// counts as a completed probe.
 		buf := make([]byte, 256)
-		_, _ = nc.Read(buf)
+		if _, err := nc.Read(buf); err != nil && err != io.EOF {
+			log.Fatalf("reading banner: %v", err)
+		}
 		fmt.Println("scan complete")
 		return
 	}

@@ -40,7 +40,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("opening log: %v", err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("closing log: %v", err)
+			}
+		}()
 		out = f
 	}
 	var mu sync.Mutex
@@ -72,7 +76,7 @@ func main() {
 	}
 	_ = pot.HostKey() // host key is generated eagerly above
 
-	var wg sync.WaitGroup
+	var wg, conns sync.WaitGroup
 	serve := func(addr, proto string, handle func(net.Conn)) {
 		l, err := net.Listen("tcp", addr)
 		if err != nil {
@@ -87,11 +91,16 @@ func main() {
 				if err != nil {
 					return
 				}
-				go handle(c)
+				conns.Add(1)
+				go func() {
+					defer conns.Done()
+					handle(c)
+				}()
 			}
 		}()
 	}
 	serve(*sshAddr, "ssh", pot.ServeSSH)
 	serve(*telnetAddr, "telnet", pot.ServeTelnet)
 	wg.Wait()
+	conns.Wait()
 }

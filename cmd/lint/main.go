@@ -1,0 +1,76 @@
+// Command lint runs the repository's static-analysis suite (see
+// internal/lint): determinism of the simulation path, goroutine hygiene,
+// error discards, lock copies, wire codec symmetry, and loop bounds.
+//
+// Usage:
+//
+//	lint [-json] [-rule nondeterminism,error-discard] [packages]
+//
+// With no packages it analyzes ./.... Exit codes: 0 clean, 1 findings,
+// 2 usage or load failure — so CI can distinguish "violations" from
+// "the linter itself broke".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"honeyfarm/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	rules := flag.String("rule", "", "comma-separated rule subset (default: all rules)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.NewLoader(root).Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "lint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package honeyfarm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+)
+
+// TestSameSeedByteIdentical is the determinism regression test behind
+// the nondeterminism lint rule: generating a dataset twice from one seed
+// must yield byte-identical serialized output, identical classification
+// counts, and identical malware hash sets. Any global-rand or wall-clock
+// leak on the simulation path breaks this immediately.
+func TestSameSeedByteIdentical(t *testing.T) {
+	cfg := SimulateConfig{Seed: 42, TotalSessions: 4000, Days: 30, NumPots: 24}
+
+	generate := func() ([]byte, *Dataset) {
+		d, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), d
+	}
+	rawA, dsA := generate()
+	rawB, dsB := generate()
+
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("same seed produced different serialized datasets:\n  run A: %d bytes, sha256 %x\n  run B: %d bytes, sha256 %x",
+			len(rawA), sha256.Sum256(rawA), len(rawB), sha256.Sum256(rawB))
+	}
+
+	sharesA, sharesB := dsA.CategoryShares(), dsB.CategoryShares()
+	if !reflect.DeepEqual(sharesA, sharesB) {
+		t.Errorf("same seed produced different classification shares:\n  run A: %+v\n  run B: %+v", sharesA, sharesB)
+	}
+
+	hashSet := func(d *Dataset) map[string]int {
+		out := map[string]int{}
+		for _, h := range d.HashStats() {
+			out[h.Hash] = h.Sessions
+		}
+		return out
+	}
+	setA, setB := hashSet(dsA), hashSet(dsB)
+	if !reflect.DeepEqual(setA, setB) {
+		t.Errorf("same seed produced different hash sets: run A has %d hashes, run B has %d", len(setA), len(setB))
+	}
+	if len(setA) == 0 {
+		t.Error("dataset produced no file hashes; the determinism check is vacuous")
+	}
+
+	// A different seed must actually change the output, or the test above
+	// proves nothing about seed-driven generation.
+	cfg.Seed = 43
+	rawC, _ := generate()
+	if bytes.Equal(rawA, rawC) {
+		t.Error("different seeds produced identical datasets")
+	}
+}

@@ -94,14 +94,20 @@ func sshIntrusion(farm *honeyfarm.Farm) {
 		"./bot.sh",
 		"exit",
 	}
+	writeDone := make(chan struct{})
 	go func() {
+		defer close(writeDone)
 		for _, cmd := range script {
 			if _, err := sess.Write([]byte(cmd + "\n")); err != nil {
 				return
 			}
 		}
 	}()
-	out, _ := io.ReadAll(sess)
+	out, err := io.ReadAll(sess)
+	<-writeDone
+	if err != nil && !sshwire.IsGracefulDisconnect(err) {
+		log.Fatal(err)
+	}
 	fmt.Printf("ssh shell transcript (%d bytes):\n%s\n", len(out), indent(out))
 }
 

@@ -46,8 +46,16 @@ func DefaultPlacement(r *Registry, seed int64) []Deployment {
 // receives at least one honeypot; the surplus concentrates in the first
 // few countries (the paper notes the US and Singapore host multiple
 // honeypots while most countries host a single one). Exactly cfg.NumASes
-// distinct ASes are used across the farm.
+// distinct ASes are used across the farm. All randomness derives from
+// cfg.Seed; see PlaceRand to thread a caller-owned source.
 func Place(cfg PlacementConfig) ([]Deployment, error) {
+	return PlaceRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// PlaceRand is Place with an explicit, caller-seeded random source —
+// the form the determinism contract prefers, since it makes the entire
+// draw sequence visible at the call site. cfg.Seed is ignored.
+func PlaceRand(rng *rand.Rand, cfg PlacementConfig) ([]Deployment, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("geo: placement requires a registry")
 	}
@@ -61,7 +69,6 @@ func Place(cfg PlacementConfig) ([]Deployment, error) {
 	if cfg.NumASes < len(countries) {
 		return nil, fmt.Errorf("geo: %d ASes cannot cover %d countries", cfg.NumASes, len(countries))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := cfg.Registry
 
 	// Per-country honeypot counts: one each, then concentrate the surplus
@@ -119,14 +126,11 @@ func Place(cfg PlacementConfig) ([]Deployment, error) {
 		chosen := chooseASes(rng, r, pool, asCounts[ci], cfg.Residental)
 		for j := 0; j < counts[ci]; j++ {
 			as := r.ases[chosen[j%len(chosen)]]
-			var ip uint32
-			for {
-				ip = as.Base + uint32(rng.Intn(int(as.Size)))
-				if !used[ip] {
-					used[ip] = true
-					break
-				}
+			ip, ok := pickUnusedIP(rng, as, used)
+			if !ok {
+				return nil, fmt.Errorf("geo: AS%d in %s has no free addresses for honeypot placement", as.ASN, code)
 			}
+			used[ip] = true
 			id := len(out)
 			out = append(out, Deployment{
 				ID:      id,
@@ -138,6 +142,25 @@ func Place(cfg PlacementConfig) ([]Deployment, error) {
 		}
 	}
 	return out, nil
+}
+
+// pickUnusedIP draws an address of as not yet in used: rejection
+// sampling with an iteration cap (the expected try count is ~1 since
+// farms are far smaller than prefixes), then a deterministic linear
+// probe so a near-saturated AS still terminates.
+func pickUnusedIP(rng *rand.Rand, as AS, used map[uint32]bool) (uint32, bool) {
+	for tries := 0; tries < 64; tries++ {
+		ip := as.Base + uint32(rng.Intn(int(as.Size)))
+		if !used[ip] {
+			return ip, true
+		}
+	}
+	for off := uint32(0); off < as.Size; off++ {
+		if ip := as.Base + off; !used[ip] {
+			return ip, true
+		}
+	}
+	return 0, false
 }
 
 func allSaturated(asCounts, counts []int) bool {

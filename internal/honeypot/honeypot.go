@@ -162,7 +162,10 @@ func splitAddr(a net.Addr) (string, int) {
 	if err != nil {
 		return a.String(), 0
 	}
-	port, _ := strconv.Atoi(portStr)
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return host, 0
+	}
 	return host, port
 }
 
@@ -266,8 +269,10 @@ reqLoop:
 	if execCmd != "" {
 		rc := sh.Run(execCmd)
 		data := crlf(out.Bytes())
+		//lint:ignore error-discard best-effort delivery; the record is already complete
 		_, _ = sess.Write(data)
 		h.appendTranscript(rec, data)
+		//lint:ignore error-discard best-effort teardown; client may already be gone
 		_ = sess.SendExitStatus(uint32(rc))
 		_ = sess.CloseWrite()
 		_ = sess.Close()

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// BoundedLoop forbids condition-less `for {}` loops inside the
+// deterministic simulation packages. Heavy-tailed rejection-sampling
+// loops (drawing until a fresh IP, hash or slot is found) must carry an
+// explicit iteration cap with a deterministic fallback, otherwise a
+// pathological configuration (a saturated AS, an exhausted pool) hangs
+// dataset generation instead of completing. The wire path is exempt:
+// accept loops there run until Close by design.
+var BoundedLoop = &Analyzer{
+	Name: "bounded-loop",
+	Doc:  "simulation-path sampling loops must have an explicit iteration cap",
+	Run: func(p *Pass) {
+		if !deterministicPkg(p.Pkg.Path) {
+			return
+		}
+		inspect(p, func(n ast.Node) bool {
+			if loop, ok := n.(*ast.ForStmt); ok && loop.Cond == nil {
+				p.Reportf(loop.Pos(), "condition-less for-loop in a deterministic package; add an iteration cap with a deterministic fallback")
+			}
+			return true
+		})
+	},
+}

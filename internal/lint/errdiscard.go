@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// discardAllowedMethods are method names whose errors carry no signal in
+// this codebase: connection deadline setters (failure means the
+// connection is already dead, which the next read reports) and
+// best-effort teardown closers.
+var discardAllowedMethods = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	"Close": true, "CloseWrite": true,
+}
+
+// discardAllowedReceivers never return a non-nil error from any method:
+// their Write family exists only to satisfy io interfaces (hash.Hash
+// documents that Write never fails).
+var discardAllowedReceivers = map[[2]string]bool{
+	{"strings", "Builder"}: true,
+	{"bytes", "Buffer"}:    true,
+	{"hash", "Hash"}:       true,
+}
+
+// discardAllowedPkgs allows bare calls of terminal-output helpers whose
+// error returns (broken stdout/stderr) have no recovery path.
+var discardAllowedPkgs = map[string]bool{"fmt": true}
+
+// ErrorDiscard flags silently discarded error results: `_ = f()`
+// assignments of error-typed values (including `v, _ := f()` where the
+// blanked position is the error) and bare call statements whose results
+// include an error. Deferred teardown calls are exempt, as are the
+// allowlisted deadline/teardown methods and fmt printers.
+var ErrorDiscard = &Analyzer{
+	Name: "error-discard",
+	Doc:  "no silent discard of error returns outside the teardown allowlist",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		inspect(p, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignDiscard(p, st)
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && !allowedDiscard(info, call) {
+					if callReturnsError(info, call) {
+						p.Reportf(st.Pos(), "call result includes an error that is silently dropped; handle it or assign it explicitly")
+					}
+				}
+			}
+			return true
+		})
+	},
+}
+
+func checkAssignDiscard(p *Pass, st *ast.AssignStmt) {
+	info := p.Pkg.Info
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value form: x, _ := f().
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || allowedDiscard(info, call) {
+			return
+		}
+		tup, ok := info.Types[st.Rhs[0]].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if i < tup.Len() && isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error result of call is discarded into _; handle it or name it")
+			}
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := st.Rhs[i]
+		if t, ok := info.Types[rhs]; !ok || !isErrorType(t.Type) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && allowedDiscard(info, call) {
+			continue
+		}
+		p.Reportf(lhs.Pos(), "error value is discarded into _; handle it or name it")
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callReturnsError reports whether the call's results include an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t, ok := info.Types[call]
+	if !ok || t.Type == nil {
+		return false
+	}
+	if tup, isTuple := t.Type.(*types.Tuple); isTuple {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t.Type)
+}
+
+// allowedDiscard applies the allowlist to a call expression.
+func allowedDiscard(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg := importedPkgPath(info, sel.X); pkg != "" {
+		return discardAllowedPkgs[pkg]
+	}
+	if discardAllowedMethods[sel.Sel.Name] {
+		return true
+	}
+	if t, ok := info.Types[sel.X]; ok {
+		if path, name, named := namedPathName(t.Type); named && discardAllowedReceivers[[2]string{path, name}] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene requires every `go` statement to have a visible
+// lifecycle: the spawned body must either signal completion through a
+// sync.WaitGroup, communicate over a channel (send, receive, close,
+// range or select — which includes context-cancellation receives), or
+// reach such a marker through a same-package callee (checked up to three
+// calls deep). Goroutines calling opaque function values cannot be
+// verified and are reported; wrap them in a joined closure or suppress
+// with an explicit reason.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutine-hygiene",
+	Doc:  "every go statement must be joined via WaitGroup/channel or carry a cancellation path",
+	Run: func(p *Pass) {
+		c := &hygieneChecker{
+			info:  p.Pkg.Info,
+			decls: funcDeclIndex(p.Pkg),
+			memo:  map[*ast.FuncDecl]bool{},
+		}
+		inspect(p, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				if !c.body(fun.Body, 0) {
+					p.Reportf(g.Pos(), "goroutine is never joined: add a WaitGroup Done/Wait pair, a completion channel, or a cancellation path")
+				}
+			default:
+				obj := calleeObject(p.Pkg.Info, g.Call.Fun)
+				if fd := c.decls[obj]; fd != nil && fd.Body != nil {
+					if !c.decl(fd, 0) {
+						p.Reportf(g.Pos(), "goroutine body %s is never joined: add a WaitGroup Done/Wait pair, a completion channel, or a cancellation path", fd.Name.Name)
+					}
+				} else {
+					p.Reportf(g.Pos(), "goroutine calls an opaque function value; wrap it in a joined closure so its lifecycle is visible")
+				}
+			}
+			return true
+		})
+	},
+}
+
+// funcDeclIndex maps declared function/method objects to their decls.
+func funcDeclIndex(pkg *Package) map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeObject resolves the called identifier (possibly a method
+// selector) to its object.
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch e := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// maxHygieneDepth bounds the same-package call-graph walk.
+const maxHygieneDepth = 3
+
+type hygieneChecker struct {
+	info  *types.Info
+	decls map[types.Object]*ast.FuncDecl
+	memo  map[*ast.FuncDecl]bool
+}
+
+func (c *hygieneChecker) decl(fd *ast.FuncDecl, depth int) bool {
+	if ok, seen := c.memo[fd]; seen {
+		return ok
+	}
+	c.memo[fd] = false // break recursion pessimistically
+	ok := c.body(fd.Body, depth)
+	c.memo[fd] = ok
+	return ok
+}
+
+// body reports whether a goroutine body contains a lifecycle marker,
+// looking through same-package calls up to maxHygieneDepth. Bodies of
+// nested go statements are skipped: an inner goroutine's channel use
+// must not vouch for the outer one.
+func (c *hygieneChecker) body(body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			return false // judged separately
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := c.info.Types[e.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if c.markerCall(e) {
+				found = true
+			} else if depth < maxHygieneDepth {
+				if fd := c.decls[calleeObject(c.info, e.Fun)]; fd != nil && fd.Body != nil && c.decl(fd, depth+1) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// markerCall recognizes direct lifecycle calls: the close builtin and
+// sync.WaitGroup Done/Wait.
+func (c *hygieneChecker) markerCall(e *ast.CallExpr) bool {
+	switch fun := e.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "close" {
+			if _, isBuiltin := c.info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+			if t, ok := c.info.Types[fun.X]; ok {
+				if path, name, named := namedPathName(t.Type); named && path == "sync" && name == "WaitGroup" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+// Package lint is a stdlib-only static-analysis suite enforcing this
+// repository's correctness contracts: the simulation path must be
+// bit-for-bit deterministic (no global math/rand state, no wall-clock
+// reads), the concurrent wire path must not leak goroutines or discard
+// errors silently, lock-bearing values must not be copied, and the SSH
+// wire codec must stay marshal/unmarshal symmetric.
+//
+// The framework is built on go/ast, go/parser and go/types alone. The
+// driver loads packages through `go list -export`, type-checks them from
+// source, runs every registered analyzer, and aggregates findings with
+// positions. A finding can be suppressed with a directive comment on the
+// offending line or the line above:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported. The rule
+// catalog lives in DESIGN.md ("Correctness tooling").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Message)
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work. Analyzers report
+// through Reportf, which applies suppression directives before recording
+// the finding.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	ignores  map[string]map[int][]string // file -> line -> suppressed rules
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless a suppression directive covers
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Rule:    p.Analyzer.Name,
+		Pos:     position,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether an ignore directive for this rule sits on
+// the finding's line or the line directly above it.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.ignores[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == p.Analyzer.Name || rule == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirectives scans a package's comments for lint:ignore directives
+// and reports malformed ones (missing rule or reason) as findings of the
+// pseudo-rule "directive".
+func ignoreDirectives(pkg *Package, findings *[]Finding) map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					*findings = append(*findings, Finding{
+						Rule: "directive", Pos: pos,
+						Message: "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					out[pos.Filename] = byLine
+				}
+				end := pkg.Fset.Position(c.End())
+				byLine[end.Line] = append(byLine[end.Line], fields[0])
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := ignoreDirectives(pkg, &findings)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, ignores: ignores, findings: &findings}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// All returns the full analyzer suite in catalog order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		GoroutineHygiene,
+		ErrorDiscard,
+		MutexByValue,
+		WireSymmetry,
+		BoundedLoop,
+	}
+}
+
+// ByName returns the subset of All whose names appear in the
+// comma-separated list; unknown names error.
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// inspect walks every file of the pass's package, calling fn for each
+// node; fn returning false prunes the subtree.
+func inspect(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// pathHasSuffix reports whether the package import path equals suffix or
+// ends with "/"+suffix — the matching used for the restricted-package
+// sets, so fixture packages can opt in under synthetic paths.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

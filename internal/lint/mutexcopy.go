@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MutexByValue flags copies of lock-bearing values: value receivers and
+// value parameters/results whose type transitively contains a sync
+// primitive, assignments that copy such a value from an existing
+// variable, and range clauses that copy them out of containers.
+// Composite literals are permitted — constructing a fresh value is not a
+// copy of a used lock.
+var MutexByValue = &Analyzer{
+	Name: "mutex-by-value",
+	Doc:  "locks must not be copied through value receivers, params, or struct copies",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		lockExpr := func(e ast.Expr) bool {
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			default:
+				return false // literals, calls, &x, conversions: not a lock copy
+			}
+			t := info.TypeOf(e)
+			return t != nil && containsLock(t)
+		}
+		checkFieldList := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				t, ok := info.Types[field.Type]
+				if !ok || t.Type == nil {
+					continue
+				}
+				if containsLock(t.Type) {
+					p.Reportf(field.Pos(), "%s passes a lock-bearing value by value; use a pointer", what)
+				}
+			}
+		}
+		inspect(p, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(st.Recv, "receiver")
+				checkFieldList(st.Type.Params, "parameter")
+				checkFieldList(st.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(st.Type.Params, "parameter")
+				checkFieldList(st.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range st.Rhs {
+					if lockExpr(rhs) {
+						p.Reportf(rhs.Pos(), "assignment copies a lock-bearing value; take a pointer instead")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range st.Values {
+					if lockExpr(v) {
+						p.Reportf(v.Pos(), "declaration copies a lock-bearing value; take a pointer instead")
+					}
+				}
+			case *ast.RangeStmt:
+				if st.Value != nil {
+					if t := info.TypeOf(st.Value); t != nil && containsLock(t) {
+						p.Reportf(st.Value.Pos(), "range clause copies lock-bearing elements; iterate by index or store pointers")
+					}
+				}
+			}
+			return true
+		})
+	},
+}

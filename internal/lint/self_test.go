@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestSelfClean runs the full analyzer suite over this module and
+// asserts zero findings — the repository must stay lint-clean. New
+// violations either get fixed or carry an explicit, reasoned
+// //lint:ignore directive.
+func TestSelfClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root).Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module has far more — loader regression?", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture: a condition-less sampling loop in a deterministic
+// package — a saturated input hangs generation forever.
+package stats
+
+func Retry(try func() bool) {
+	for { // want bounded-loop
+		if try() {
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Known-good fixture: the sampling loop carries an explicit iteration
+// cap with a deterministic fallback.
+package stats
+
+func Retry(try func() bool) bool {
+	for i := 0; i < 64; i++ {
+		if try() {
+			return true
+		}
+	}
+	return false
+}

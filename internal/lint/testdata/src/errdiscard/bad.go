@@ -1,0 +1,15 @@
+// Known-bad fixture: error results silently dropped through blank
+// assignments and bare call statements.
+package errdiscard
+
+import (
+	"os"
+	"strconv"
+)
+
+func Bad(path string) int {
+	_ = os.Remove(path)       // want error-discard
+	n, _ := strconv.Atoi("7") // want error-discard
+	os.Remove(path)           // want error-discard
+	return n
+}

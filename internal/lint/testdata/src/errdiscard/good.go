@@ -1,0 +1,24 @@
+// Known-good fixture: errors handled, plus the allowlisted discards —
+// deadline setters, fmt printers, and receivers whose writes cannot
+// fail.
+package errdiscard
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func Good(conn net.Conn) (int, error) {
+	n, err := strconv.Atoi("7")
+	if err != nil {
+		return 0, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	fmt.Println("ok")
+	var b strings.Builder
+	b.WriteString("never fails")
+	return n, nil
+}

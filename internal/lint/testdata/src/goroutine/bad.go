@@ -1,0 +1,15 @@
+// Known-bad fixture: fire-and-forget goroutines with no join or
+// cancellation path.
+package goroutine
+
+func Leak() {
+	go func() { // want goroutine-hygiene
+		println("fire and forget")
+	}()
+}
+
+func work() { println("work") }
+
+func LeakNamed() {
+	go work() // want goroutine-hygiene
+}

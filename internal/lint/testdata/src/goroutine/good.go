@@ -1,0 +1,40 @@
+// Known-good fixture: goroutines joined through a WaitGroup, a
+// completion channel closed by a same-package callee, and a select on a
+// cancellation channel.
+package goroutine
+
+import "sync"
+
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("work")
+	}()
+	wg.Wait()
+}
+
+func signal(done chan<- struct{}) {
+	defer close(done)
+	println("work")
+}
+
+func JoinedViaCallee() {
+	done := make(chan struct{})
+	go signal(done)
+	<-done
+}
+
+func Cancellable(stop <-chan struct{}, work <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case n := <-work:
+				println(n)
+			}
+		}
+	}()
+}

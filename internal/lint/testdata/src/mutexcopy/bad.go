@@ -1,0 +1,27 @@
+// Known-bad fixture: lock-bearing values copied through a value
+// parameter, a dereference assignment, and a range clause.
+package mutexcopy
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(c Counter) int { // want mutex-by-value
+	return c.n
+}
+
+func Snapshot(c *Counter) {
+	copied := *c // want mutex-by-value
+	copied.n++
+}
+
+func Sum(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want mutex-by-value
+		total += c.n
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Known-good fixture: lock-bearing values travel by pointer; composite
+// literals construct fresh values rather than copying used locks.
+package mutexcopy
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func NewCounter() *Counter {
+	return &Counter{}
+}
+
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+func Sum(cs []*Counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture: global math/rand state and wall-clock reads inside
+// a package under the determinism contract.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Sample() (int, time.Time) {
+	n := rand.Intn(100) // want nondeterminism
+	now := time.Now()   // want nondeterminism
+	return n, now
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want nondeterminism
+}

@@ -1,0 +1,20 @@
+// Known-good fixture: randomness flows through an explicitly seeded
+// generator and timestamps derive from a configured epoch.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func SampleSeeded(rng *rand.Rand) int {
+	return rng.Intn(100)
+}
+
+func Stamp(epoch time.Time, offset time.Duration) time.Time {
+	return epoch.Add(offset)
+}

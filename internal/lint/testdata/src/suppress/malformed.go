@@ -1,0 +1,14 @@
+// Malformed-directive fixture: a directive without a rule and one
+// without a reason are themselves reported (pseudo-rule "directive"),
+// and a reasonless directive does not suppress the finding it covers.
+package workload
+
+import "time"
+
+//lint:ignore
+func placeholder() {}
+
+func StampUnsuppressed() time.Time {
+	//lint:ignore nondeterminism
+	return time.Now() // want nondeterminism
+}

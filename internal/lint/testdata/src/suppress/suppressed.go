@@ -1,0 +1,20 @@
+// Suppression fixture: each wall-clock read below would be a
+// nondeterminism finding, but a well-formed //lint:ignore directive on
+// the finding line or the line above silences it.
+package workload
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore nondeterminism fixture exercises line-above suppression
+	return time.Now()
+}
+
+func StampInline() time.Time {
+	return time.Now() //lint:ignore nondeterminism fixture exercises same-line suppression
+}
+
+func StampWildcard() time.Time {
+	//lint:ignore * fixture exercises wildcard suppression
+	return time.Now()
+}

@@ -1,0 +1,34 @@
+// Known-bad fixture: a wire codec whose Builder and Reader method sets
+// have drifted apart — a marshal method with no decode counterpart, and
+// a decode method with no marshal counterpart.
+package wiresym
+
+type Builder struct{ buf []byte }
+
+func (b *Builder) Uint32(v uint32) *Builder {
+	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	return b
+}
+
+func (b *Builder) Text(s string) *Builder { // want wire-symmetry
+	b.Uint32(uint32(len(s)))
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+func (b *Builder) Bytes() []byte { return b.buf }
+
+type Reader struct{ rest []byte }
+
+func (r *Reader) Uint32() uint32 {
+	if len(r.rest) < 4 {
+		return 0
+	}
+	v := uint32(r.rest[0])<<24 | uint32(r.rest[1])<<16 | uint32(r.rest[2])<<8 | uint32(r.rest[3])
+	r.rest = r.rest[4:]
+	return v
+}
+
+func (r *Reader) Bool() bool { // want wire-symmetry
+	return r.Uint32() != 0
+}

@@ -1,0 +1,37 @@
+// Known-good fixture: a round-trippable codec — every marshal method
+// has a decode counterpart, including the Raw/Bytes name mapping.
+package wiresym
+
+type Builder struct{ buf []byte }
+
+func (b *Builder) Uint32(v uint32) *Builder {
+	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	return b
+}
+
+func (b *Builder) Raw(p []byte) *Builder {
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+func (b *Builder) Bytes() []byte { return b.buf }
+
+type Reader struct{ rest []byte }
+
+func (r *Reader) Uint32() uint32 {
+	if len(r.rest) < 4 {
+		return 0
+	}
+	v := uint32(r.rest[0])<<24 | uint32(r.rest[1])<<16 | uint32(r.rest[2])<<8 | uint32(r.rest[3])
+	r.rest = r.rest[4:]
+	return v
+}
+
+func (r *Reader) Bytes(n int) []byte {
+	if n < 0 || n > len(r.rest) {
+		return nil
+	}
+	out := r.rest[:n]
+	r.rest = r.rest[n:]
+	return out
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// builderToReader maps Builder marshal methods to their Reader decode
+// counterparts where the names differ: Raw appends go back out through
+// fixed-length Bytes reads, and mpint-from-bytes reads back as a plain
+// mpint.
+var builderToReader = map[string]string{
+	"Raw":        "Bytes",
+	"MPIntBytes": "MPInt",
+}
+
+// builderNonField are exported *Builder methods that manage the buffer
+// rather than appending a wire field.
+var builderNonField = map[string]bool{"Bytes": true, "Len": true, "Reset": true}
+
+// readerNonField are exported *Reader methods that inspect state rather
+// than decoding a wire field.
+var readerNonField = map[string]bool{"Err": true, "Remaining": true, "Rest": true}
+
+// WireSymmetry checks that a wire codec package stays round-trippable:
+// every exported field-appending method on Builder (those returning
+// *Builder) must have a same-named decode method on Reader, and every
+// exported decode method on Reader must have a matching Builder
+// appender. It activates in any package declaring both a Builder and a
+// Reader type — in this repository, internal/wire.
+var WireSymmetry = &Analyzer{
+	Name: "wire-symmetry",
+	Doc:  "every Builder marshal method needs a matching Reader decode method, and vice versa",
+	Run: func(p *Pass) {
+		if p.Pkg.Pkg == nil {
+			return
+		}
+		builder := lookupNamed(p.Pkg.Pkg, "Builder")
+		reader := lookupNamed(p.Pkg.Pkg, "Reader")
+		if builder == nil || reader == nil {
+			return
+		}
+		builderFields := map[string]*types.Func{}
+		anyAppender := false
+		for i := 0; i < builder.NumMethods(); i++ {
+			m := builder.Method(i)
+			if !m.Exported() || builderNonField[m.Name()] {
+				continue
+			}
+			if !returnsPointerTo(m, builder) {
+				continue
+			}
+			anyAppender = true
+			builderFields[m.Name()] = m
+		}
+		if !anyAppender {
+			return // not a chainable wire builder; out of scope
+		}
+		readerFields := map[string]*types.Func{}
+		for i := 0; i < reader.NumMethods(); i++ {
+			m := reader.Method(i)
+			if m.Exported() && !readerNonField[m.Name()] {
+				readerFields[m.Name()] = m
+			}
+		}
+		readerToBuilder := map[string]string{}
+		for b, r := range builderToReader {
+			readerToBuilder[r] = b
+		}
+		for name, m := range builderFields {
+			want := name
+			if mapped, ok := builderToReader[name]; ok {
+				want = mapped
+			}
+			if _, ok := readerFields[want]; !ok {
+				p.Reportf(m.Pos(), "Builder.%s has no matching Reader.%s decode method; the codec cannot round-trip", name, want)
+			}
+		}
+		for name, m := range readerFields {
+			want := name
+			if mapped, ok := readerToBuilder[name]; ok {
+				want = mapped
+			}
+			if _, ok := builderFields[want]; !ok {
+				p.Reportf(m.Pos(), "Reader.%s has no matching Builder.%s marshal method; the codec cannot round-trip", name, want)
+			}
+		}
+	},
+}
+
+func lookupNamed(pkg *types.Package, name string) *types.Named {
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// returnsPointerTo reports whether method m's results include *named.
+func returnsPointerTo(m *types.Func, named *types.Named) bool {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if ptr, isPtr := sig.Results().At(i).Type().(*types.Pointer); isPtr {
+			if ptr.Elem() == named {
+				return true
+			}
+		}
+	}
+	return false
+}

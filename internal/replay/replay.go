@@ -156,15 +156,23 @@ func (r *Replayer) replaySSH(rec *honeypot.SessionRecord) error {
 		if err := sshwire.RequestShell(sess); err != nil {
 			return err
 		}
+		// The writer races the drain below on purpose (the honeypot echoes
+		// while we type); closing writeDone joins it before returning.
+		writeDone := make(chan struct{})
 		go func() {
-			for _, c := range rec.Commands {
+			defer close(writeDone)
+			for _, c := range append(rec.Commands, honeypot.CommandRecord{Input: "exit"}) {
 				if _, err := sess.Write([]byte(c.Input + "\n")); err != nil {
+					// Session torn down under us; the drain sees the close.
 					return
 				}
 			}
-			_, _ = sess.Write([]byte("exit\n"))
 		}()
-		_, _ = io.Copy(io.Discard, sess)
+		_, err = io.Copy(io.Discard, sess)
+		<-writeDone
+		if err != nil && !sshwire.IsGracefulDisconnect(err) {
+			return err
+		}
 		return nil
 	}
 }
@@ -179,9 +187,12 @@ func (r *Replayer) replayTelnet(rec *honeypot.SessionRecord) error {
 
 	switch analysis.Classify(rec) {
 	case analysis.NoCred:
-		// Read the banner and leave without credentials.
+		// Read the banner and leave without credentials; an immediate
+		// close still reproduces a NO_CRED probe.
 		buf := make([]byte, 64)
-		_, _ = nc.Read(buf)
+		if _, err := nc.Read(buf); err != nil && err != io.EOF {
+			return err
+		}
 		return nil
 	case analysis.FailLog:
 		for _, l := range rec.Logins {

@@ -696,7 +696,10 @@ func bMv(sh *Shell, args []string, stdin []byte, out *bytes.Buffer) int {
 	if rc := bCp(sh, paths, stdin, out); rc != 0 {
 		return rc
 	}
-	_ = sh.FS.RemoveAll(sh.CWD, paths[0])
+	if err := sh.FS.RemoveAll(sh.CWD, paths[0]); err != nil {
+		fmt.Fprintf(out, "mv: cannot remove '%s': %s\n", paths[0], shellErr(err))
+		return 1
+	}
 	return 0
 }
 

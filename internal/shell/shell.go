@@ -125,6 +125,7 @@ func (sh *Shell) Run(line string) int {
 			if cmd.Redirect != nil {
 				sh.redirect(cmd.Redirect, out.Bytes())
 			} else {
+				//lint:ignore error-discard client teardown surfaces on the next read
 				_, _ = sh.Out.Write(out.Bytes())
 			}
 		}

@@ -271,6 +271,7 @@ func (m *mux) dispatch(payload []byte) error {
 			ch.mu.Unlock()
 			ch.markDone()
 			if !alreadySent {
+				//lint:ignore error-discard best-effort close echo; the transport reader surfaces real failures
 				_ = ch.sendClose()
 			}
 		}
@@ -393,6 +394,7 @@ func (ch *Channel) Read(p []byte) (int, error) {
 	if adjust > 0 {
 		b := wire.NewBuilder(16)
 		b.Byte(msgChannelWindowAdjust).Uint32(remoteID).Uint32(adjust)
+		//lint:ignore error-discard advisory window update; a dead transport fails the next Read
 		_ = ch.mux.t.writePacket(b.Bytes())
 	}
 	ch.mu.Lock()

@@ -44,6 +44,15 @@ func (e *DisconnectError) Error() string {
 // Is reports that any DisconnectError matches ErrDisconnected.
 func (e *DisconnectError) Is(target error) bool { return target == ErrDisconnected }
 
+// IsGracefulDisconnect reports whether err is the peer's normal
+// by-application disconnect (RFC 4253 reason 11). Whether a drain of the
+// final channel output sees channel EOF or this transport-level notice
+// is a teardown race; both are orderly closes, not failures.
+func IsGracefulDisconnect(err error) bool {
+	var de *DisconnectError
+	return errors.As(err, &de) && de.Reason == disconnectByApplication
+}
+
 // direction holds one direction's active cryptographic state.
 type direction struct {
 	stream cipher.Stream
@@ -298,6 +307,7 @@ func (t *transport) activateRead() {
 func (t *transport) sendDisconnect(reason uint32, message string) {
 	b := wire.NewBuilder(64)
 	b.Byte(msgDisconnect).Uint32(reason).Text(message).Text("")
+	//lint:ignore error-discard disconnect notice is best-effort by definition
 	_ = t.writePacket(b.Bytes())
 }
 

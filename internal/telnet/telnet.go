@@ -132,6 +132,7 @@ func (c *Conn) answer(cmd, opt byte) error {
 	// Negotiation replies are advisory: if the peer has already closed
 	// (e.g. it disconnected right after login), dropping the reply is
 	// harmless — the data path will surface EOF on the next read.
+	//lint:ignore error-discard advisory negotiation reply; EOF surfaces on the data path
 	_, _ = c.nc.Write([]byte{cmdIAC, reply, opt})
 	return nil
 }
@@ -154,6 +155,7 @@ func (c *Conn) ReadLine() (string, error) {
 			// Peek for \n or NUL and consume it.
 			nx, err := c.br.Peek(1)
 			if err == nil && (nx[0] == '\n' || nx[0] == 0) {
+				//lint:ignore error-discard ReadByte cannot fail after a successful Peek(1)
 				_, _ = c.br.ReadByte()
 			}
 			return b.String(), nil

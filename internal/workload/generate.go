@@ -130,8 +130,19 @@ type generator struct {
 	potsByContinent map[geo.Continent][]int
 }
 
-// Generate produces a calibrated synthetic dataset.
+// Generate produces a calibrated synthetic dataset. All randomness
+// derives from cfg.Seed; see GenerateRand to thread a caller-owned
+// source for the session stream.
 func Generate(cfg Config) (*Result, error) {
+	return GenerateRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateRand is Generate with an explicit, caller-seeded random
+// source driving the session stream — the form the determinism contract
+// prefers. cfg.Seed still anchors the derived sub-streams that must
+// stay aligned with the farm: honeypot placement and the per-honeypot
+// weight permutations.
+func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("workload: Config.Registry is required")
 	}
@@ -157,7 +168,6 @@ func Generate(cfg Config) (*Result, error) {
 		cfg.MidTierCampaigns = 40 + cfg.TotalSessions/2500
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	base := VisibilityWeights(cfg.NumPots)
 	shares := CategoryShare
 	if cfg.Shares != nil {

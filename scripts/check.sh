@@ -1,0 +1,34 @@
+#!/bin/sh
+# check.sh — the full verification gate, run from anywhere inside the
+# repository. Everything here must pass before a change lands:
+#
+#   gofmt        all source formatted
+#   go vet       toolchain static checks
+#   go build     the module compiles
+#   lint         the repo's own analyzer suite (see internal/lint), zero findings
+#   go test -race  full test suite under the race detector
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go run ./cmd/lint ./..."
+go run ./cmd/lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"
