@@ -14,6 +14,7 @@ package honeyfarm
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -325,6 +326,32 @@ func BenchmarkAblationGenerateScale(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "sessions/s")
+		})
+	}
+}
+
+// BenchmarkGenerateWorkers measures the sharded pipeline's scaling: one
+// 200k-session generation per worker count. The rows are byte-identical
+// in output (see TestWorkersByteIdentical), so they differ only in
+// wall-clock; scripts/bench.sh records them into BENCH_<n>.json
+// baselines alongside the machine's core count.
+func BenchmarkGenerateWorkers(b *testing.B) {
+	reg := NewRegistry(1)
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.Generate(workload.Config{
+					Seed: 1, TotalSessions: 200_000, Registry: reg, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(200_000/b.Elapsed().Seconds()*float64(b.N), "sessions/s")
 		})
 	}
 }

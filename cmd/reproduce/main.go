@@ -24,6 +24,7 @@ func main() {
 	sessions := flag.Int("sessions", 400_000, "sessions to generate")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "report path (default stdout)")
+	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -38,7 +39,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating %d sessions (scale 1/%d of the paper)...\n",
 		*sessions, 402_000_000/max(1, *sessions))
-	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{Seed: *seed, TotalSessions: *sessions})
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{Seed: *seed, TotalSessions: *sessions, Workers: *workers})
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}

@@ -78,6 +78,9 @@ type SimulateConfig struct {
 	Days          int
 	NumPots       int
 	Registry      *Registry // optional; built from Seed when nil
+	// Workers is the generation fan-out (default GOMAXPROCS). The
+	// dataset is byte-identical for every value; see workload.Config.
+	Workers int
 }
 
 // Dataset is a generated or loaded session dataset with its geography,
@@ -106,6 +109,7 @@ func Simulate(cfg SimulateConfig) (*Dataset, error) {
 		NumPots:       cfg.NumPots,
 		Registry:      reg,
 		Epoch:         DefaultEpoch,
+		Workers:       cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -139,30 +139,57 @@ type PerHoneypot struct {
 	Hashes   int // unique file hashes
 }
 
+// perPotAcc is one worker's per-honeypot partial aggregate.
+type perPotAcc struct {
+	sessions []int
+	clients  []map[string]struct{}
+	hashes   []map[string]struct{}
+}
+
 // ComputePerHoneypot returns per-honeypot totals indexed by honeypot ID.
-// numPots sizes the result; IDs outside [0, numPots) are ignored.
+// numPots sizes the result; IDs outside [0, numPots) are ignored. The
+// scan fans out over record ranges; session counts sum and client/hash
+// sets union, so the reduce is order-insensitive.
 func ComputePerHoneypot(s *store.Store, numPots int) []PerHoneypot {
+	acc := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) *perPotAcc {
+			a := &perPotAcc{
+				sessions: make([]int, numPots),
+				clients:  make([]map[string]struct{}, numPots),
+				hashes:   make([]map[string]struct{}, numPots),
+			}
+			for i := 0; i < numPots; i++ {
+				a.clients[i] = make(map[string]struct{})
+				a.hashes[i] = make(map[string]struct{})
+			}
+			for _, r := range recs {
+				id := r.HoneypotID
+				if id < 0 || id >= numPots {
+					continue
+				}
+				a.sessions[id]++
+				a.clients[id][r.ClientIP] = struct{}{}
+				for _, f := range r.Files {
+					a.hashes[id][f.Hash] = struct{}{}
+				}
+			}
+			return a
+		},
+		func(dst, src *perPotAcc) *perPotAcc {
+			for i := 0; i < numPots; i++ {
+				dst.sessions[i] += src.sessions[i]
+				unionInto(dst.clients[i], src.clients[i])
+				unionInto(dst.hashes[i], src.hashes[i])
+			}
+			return dst
+		})
 	out := make([]PerHoneypot, numPots)
-	clients := make([]map[string]struct{}, numPots)
-	hashes := make([]map[string]struct{}, numPots)
-	for i := range clients {
-		clients[i] = make(map[string]struct{})
-		hashes[i] = make(map[string]struct{})
-	}
-	for _, r := range s.Records() {
-		id := r.HoneypotID
-		if id < 0 || id >= numPots {
-			continue
-		}
-		out[id].Sessions++
-		clients[id][r.ClientIP] = struct{}{}
-		for _, f := range r.Files {
-			hashes[id][f.Hash] = struct{}{}
-		}
-	}
 	for i := range out {
-		out[i].Clients = len(clients[i])
-		out[i].Hashes = len(hashes[i])
+		out[i] = PerHoneypot{
+			Sessions: acc.sessions[i],
+			Clients:  len(acc.clients[i]),
+			Hashes:   len(acc.hashes[i]),
+		}
 	}
 	return out
 }
@@ -201,14 +228,21 @@ func DailyMatrix(s *store.Store, numPots int, cat int) [][]float64 {
 }
 
 // TopPotsByActivity returns the IDs of the top fraction (e.g. 0.05 for
-// the paper's "top 5% of honeypots") by total session count.
+// the paper's "top 5% of honeypots") by total session count. Ties break
+// toward the lower honeypot ID: sort.Slice is unstable, so without the
+// tie-break equally-active honeypots would reorder run to run.
 func TopPotsByActivity(per []PerHoneypot, fraction float64) []int {
 	type kv struct{ id, sessions int }
 	all := make([]kv, len(per))
 	for i, p := range per {
 		all[i] = kv{i, p.Sessions}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].sessions > all[j].sessions })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sessions != all[j].sessions {
+			return all[i].sessions > all[j].sessions
+		}
+		return all[i].id < all[j].id
+	})
 	n := int(float64(len(per))*fraction + 0.5)
 	if n < 1 {
 		n = 1

@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"net/netip"
+	"sort"
 
 	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/stats"
 	"honeyfarm/internal/store"
 )
@@ -34,32 +36,55 @@ func (c ClientStat) NumCategoriesSeen() int {
 	return n
 }
 
+// clientAcc is one client IP's partial aggregate.
+type clientAcc struct {
+	sessions int
+	pots     map[int]struct{}
+	days     map[int]struct{}
+	cats     uint8
+}
+
 // ComputeClientStats aggregates every client IP. Pass cat = -1 for all
 // categories or a specific Category to restrict (for the per-category
-// ECDFs of Figures 12 and 13).
+// ECDFs of Figures 12 and 13). The scan fans out over record ranges
+// with a union/sum reduce, and the result is sorted by IP — the map
+// iteration order of the old implementation leaked into the output and
+// broke the determinism contract.
 func ComputeClientStats(s *store.Store, cat int) []ClientStat {
-	type acc struct {
-		sessions int
-		pots     map[int]struct{}
-		days     map[int]struct{}
-		cats     uint8
-	}
-	m := make(map[string]*acc)
-	for _, r := range s.Records() {
-		c := Classify(r)
-		if cat >= 0 && c != Category(cat) {
-			continue
-		}
-		a := m[r.ClientIP]
-		if a == nil {
-			a = &acc{pots: make(map[int]struct{}), days: make(map[int]struct{})}
-			m[r.ClientIP] = a
-		}
-		a.sessions++
-		a.pots[r.HoneypotID] = struct{}{}
-		a.days[s.Day(r.Start)] = struct{}{}
-		a.cats |= 1 << c
-	}
+	m := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) map[string]*clientAcc {
+			part := make(map[string]*clientAcc)
+			for _, r := range recs {
+				c := Classify(r)
+				if cat >= 0 && c != Category(cat) {
+					continue
+				}
+				a := part[r.ClientIP]
+				if a == nil {
+					a = &clientAcc{pots: make(map[int]struct{}), days: make(map[int]struct{})}
+					part[r.ClientIP] = a
+				}
+				a.sessions++
+				a.pots[r.HoneypotID] = struct{}{}
+				a.days[s.Day(r.Start)] = struct{}{}
+				a.cats |= 1 << c
+			}
+			return part
+		},
+		func(dst, src map[string]*clientAcc) map[string]*clientAcc {
+			for ip, sa := range src {
+				da := dst[ip]
+				if da == nil {
+					dst[ip] = sa
+					continue
+				}
+				da.sessions += sa.sessions
+				unionInto(da.pots, sa.pots)
+				unionInto(da.days, sa.days)
+				da.cats |= sa.cats
+			}
+			return dst
+		})
 	out := make([]ClientStat, 0, len(m))
 	for ip, a := range m {
 		out = append(out, ClientStat{
@@ -68,6 +93,7 @@ func ComputeClientStats(s *store.Store, cat int) []ClientStat {
 			Categories: a.cats,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
 	return out
 }
 
@@ -126,24 +152,40 @@ func locate(reg *geo.Registry, ip string) (geo.Location, bool) {
 
 // ClientCountries is Figure 10/23: unique client IPs per country,
 // optionally restricted to a category set (nil means all). The result is
-// sorted descending by count.
+// sorted descending by count (country name as tie-break). The scan fans
+// out over record ranges; registry lookups are pure reads, and the
+// per-country IP sets union in the reduce.
 func ClientCountries(s *store.Store, reg *geo.Registry, cats map[Category]bool) []CountryCount {
-	perCountry := make(map[string]map[string]struct{})
-	for _, r := range s.Records() {
-		if cats != nil && !cats[Classify(r)] {
-			continue
-		}
-		loc, ok := locate(reg, r.ClientIP)
-		if !ok {
-			continue
-		}
-		set := perCountry[loc.Country]
-		if set == nil {
-			set = make(map[string]struct{})
-			perCountry[loc.Country] = set
-		}
-		set[r.ClientIP] = struct{}{}
-	}
+	perCountry := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) map[string]map[string]struct{} {
+			part := make(map[string]map[string]struct{})
+			for _, r := range recs {
+				if cats != nil && !cats[Classify(r)] {
+					continue
+				}
+				loc, ok := locate(reg, r.ClientIP)
+				if !ok {
+					continue
+				}
+				set := part[loc.Country]
+				if set == nil {
+					set = make(map[string]struct{})
+					part[loc.Country] = set
+				}
+				set[r.ClientIP] = struct{}{}
+			}
+			return part
+		},
+		func(dst, src map[string]map[string]struct{}) map[string]map[string]struct{} {
+			for country, set := range src {
+				if d := dst[country]; d != nil {
+					unionInto(d, set)
+				} else {
+					dst[country] = set
+				}
+			}
+			return dst
+		})
 	out := make([]CountryCount, 0, len(perCountry))
 	for c, set := range perCountry {
 		out = append(out, CountryCount{Country: c, Clients: len(set)})

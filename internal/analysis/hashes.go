@@ -3,6 +3,7 @@ package analysis
 import (
 	"sort"
 
+	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/stats"
 	"honeyfarm/internal/store"
 )
@@ -25,54 +26,82 @@ type HashStat struct {
 	Tag       string
 }
 
+// hashAcc is one hash's partial aggregate.
+type hashAcc struct {
+	sessions int
+	ips      map[string]struct{}
+	days     map[int]struct{}
+	pots     map[int]struct{}
+	first    int
+	last     int
+}
+
 // ComputeHashStats scans the dataset once and aggregates every hash.
-// tag may be nil (tags become "unknown").
+// tag may be nil (tags become "unknown"). The scan fans out over record
+// ranges — counts sum, sets union, first/last days min/max in the
+// reduce — and the output sort by hash pins the order.
 func ComputeHashStats(s *store.Store, tag Tagger) []HashStat {
-	type acc struct {
-		sessions int
-		ips      map[string]struct{}
-		days     map[int]struct{}
-		pots     map[int]struct{}
-		first    int
-		last     int
-	}
-	m := make(map[string]*acc)
-	for _, r := range s.Records() {
-		if len(r.Files) == 0 {
-			continue
-		}
-		day := s.Day(r.Start)
-		// A session may touch the same hash via several file events;
-		// count the session once per distinct hash.
-		seen := make(map[string]struct{}, len(r.Files))
-		for _, f := range r.Files {
-			if _, dup := seen[f.Hash]; dup {
-				continue
-			}
-			seen[f.Hash] = struct{}{}
-			a := m[f.Hash]
-			if a == nil {
-				a = &acc{
-					ips:   make(map[string]struct{}),
-					days:  make(map[int]struct{}),
-					pots:  make(map[int]struct{}),
-					first: day,
-					last:  day,
+	m := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) map[string]*hashAcc {
+			part := make(map[string]*hashAcc)
+			for _, r := range recs {
+				if len(r.Files) == 0 {
+					continue
 				}
-				m[f.Hash] = a
+				day := s.Day(r.Start)
+				// A session may touch the same hash via several file events;
+				// count the session once per distinct hash.
+				seen := make(map[string]struct{}, len(r.Files))
+				for _, f := range r.Files {
+					if _, dup := seen[f.Hash]; dup {
+						continue
+					}
+					seen[f.Hash] = struct{}{}
+					a := part[f.Hash]
+					if a == nil {
+						a = &hashAcc{
+							ips:   make(map[string]struct{}),
+							days:  make(map[int]struct{}),
+							pots:  make(map[int]struct{}),
+							first: day,
+							last:  day,
+						}
+						part[f.Hash] = a
+					}
+					a.sessions++
+					a.ips[r.ClientIP] = struct{}{}
+					a.days[day] = struct{}{}
+					a.pots[r.HoneypotID] = struct{}{}
+					if day < a.first {
+						a.first = day
+					}
+					if day > a.last {
+						a.last = day
+					}
+				}
 			}
-			a.sessions++
-			a.ips[r.ClientIP] = struct{}{}
-			a.days[day] = struct{}{}
-			a.pots[r.HoneypotID] = struct{}{}
-			if day < a.first {
-				a.first = day
+			return part
+		},
+		func(dst, src map[string]*hashAcc) map[string]*hashAcc {
+			for h, sa := range src {
+				da := dst[h]
+				if da == nil {
+					dst[h] = sa
+					continue
+				}
+				da.sessions += sa.sessions
+				unionInto(da.ips, sa.ips)
+				unionInto(da.days, sa.days)
+				unionInto(da.pots, sa.pots)
+				if sa.first < da.first {
+					da.first = sa.first
+				}
+				if sa.last > da.last {
+					da.last = sa.last
+				}
 			}
-			if day > a.last {
-				a.last = day
-			}
-		}
-	}
+			return dst
+		})
 	out := make([]HashStat, 0, len(m))
 	for h, a := range m {
 		hs := HashStat{

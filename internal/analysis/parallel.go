@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"honeyfarm/internal/honeypot"
+)
+
+// fanThreshold is the record count below which aggregation stays
+// sequential: goroutine spawn and partial-merge overhead beats the
+// scan cost for small datasets. A variable so tests can lower it and
+// exercise the parallel path on toy data.
+var fanThreshold = 1 << 15
+
+// aggWorkers picks the fan-out for an n-record aggregation: one worker
+// per fanThreshold-sized chunk, capped at GOMAXPROCS.
+func aggWorkers(n int) int {
+	if n < fanThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if chunks := (n + fanThreshold - 1) / fanThreshold; w > chunks {
+		w = chunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mapReduce fans an aggregation out over contiguous record ranges and
+// folds the partial accumulators back together. Each worker runs mapFn
+// over its own range into a fresh accumulator (no shared state, no
+// locks); the partials are then merged LEFT TO RIGHT in range order, so
+// the result is deterministic even when mergeFn is not commutative. The
+// determinism of the overall pipeline therefore rests on mapFn/mergeFn
+// being pure folds — all of this package's accumulators are sums, set
+// unions and min/max, and every map-keyed output is sorted before it is
+// returned.
+func mapReduce[A any](recs []*honeypot.SessionRecord, mapFn func([]*honeypot.SessionRecord) A, mergeFn func(dst, src A) A) A {
+	w := aggWorkers(len(recs))
+	if w == 1 {
+		return mapFn(recs)
+	}
+	parts := make([]A, w)
+	chunk := (len(recs) + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := min(lo+chunk, len(recs))
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			parts[i] = mapFn(recs[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	out := parts[0]
+	for i := 1; i < w; i++ {
+		out = mergeFn(out, parts[i])
+	}
+	return out
+}
+
+// unionInto folds src's members into dst.
+func unionInto[K comparable](dst, src map[K]struct{}) {
+	for k := range src {
+		dst[k] = struct{}{}
+	}
+}

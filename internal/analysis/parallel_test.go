@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/store"
+)
+
+// TestTopPotsByActivityTieBreak is the regression test for the unstable
+// sort: with all session counts tied, the selection must come back in
+// honeypot-ID order, identically on every call.
+func TestTopPotsByActivityTieBreak(t *testing.T) {
+	per := make([]PerHoneypot, 40)
+	for i := range per {
+		per[i].Sessions = 7 // all tied
+	}
+	want := TopPotsByActivity(per, 0.25)
+	for i := 1; i < len(want); i++ {
+		if want[i-1] >= want[i] {
+			t.Fatalf("tied pots not in id order: %v", want)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		if got := TopPotsByActivity(per, 0.25); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: selection changed: %v vs %v", trial, got, want)
+		}
+	}
+	// Partial ties: the count still ranks first, the id only breaks ties.
+	per[3].Sessions = 50
+	per[9].Sessions = 50
+	got := TopPotsByActivity(per, 0.1)
+	if got[0] != 3 || got[1] != 9 {
+		t.Fatalf("top pots = %v, want [3 9 ...]", got)
+	}
+}
+
+// synthStore builds a deterministic mixed-category store large enough to
+// split into several aggregation ranges.
+func synthStore(reg *geo.Registry, n int) *store.Store {
+	rng := rand.New(rand.NewSource(11))
+	s := store.New(epoch)
+	for i := 0; i < n; i++ {
+		ip := geo.Uint32ToAddr(reg.SampleClientIP(rng, -1)).String()
+		m := mk{day: i % 30, pot: i % 12, ip: ip, proto: honeypot.SSH}
+		switch i % 4 {
+		case 0: // FAIL_LOG
+			m.logins = failLogin()
+		case 1: // CMD with a file
+			m.logins = okLogin()
+			m.commands = cmd("uname -a")
+			m.files = []honeypot.FileRecord{{
+				Path: "/tmp/x", Hash: fmt.Sprintf("h%03d", i%97), Op: "create", Size: 10,
+			}}
+		case 2: // NO_CMD
+			m.logins = okLogin()
+		}
+		s.Add(m.rec())
+	}
+	return s
+}
+
+// TestParallelAggregatesMatchSequential pins the deterministic reduce:
+// the fanned-out aggregations must produce exactly the sequential
+// results, element for element.
+func TestParallelAggregatesMatchSequential(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 3})
+	s := synthStore(reg, 4000)
+
+	prevThreshold := fanThreshold
+	prevProcs := runtime.GOMAXPROCS(4) // force real fan-out even on 1 CPU
+	defer func() {
+		fanThreshold = prevThreshold
+		runtime.GOMAXPROCS(prevProcs)
+	}()
+
+	type snapshot struct {
+		perPot    []PerHoneypot
+		clients   []ClientStat
+		byCat     []ClientStat
+		countries []CountryCount
+		hashes    []HashStat
+	}
+	take := func() snapshot {
+		return snapshot{
+			perPot:    ComputePerHoneypot(s, 12),
+			clients:   ComputeClientStats(s, -1),
+			byCat:     ComputeClientStats(s, int(FailLog)),
+			countries: ClientCountries(s, reg, nil),
+			hashes:    ComputeHashStats(s, nil),
+		}
+	}
+
+	fanThreshold = 1 << 30 // sequential reference
+	seq := take()
+	fanThreshold = 256 // ~16 ranges over 4000 records
+	par := take()
+
+	if !reflect.DeepEqual(seq.perPot, par.perPot) {
+		t.Errorf("ComputePerHoneypot diverges:\nseq %+v\npar %+v", seq.perPot, par.perPot)
+	}
+	if !reflect.DeepEqual(seq.clients, par.clients) {
+		t.Errorf("ComputeClientStats diverges (len %d vs %d)", len(seq.clients), len(par.clients))
+	}
+	if !reflect.DeepEqual(seq.byCat, par.byCat) {
+		t.Errorf("ComputeClientStats(FailLog) diverges (len %d vs %d)", len(seq.byCat), len(par.byCat))
+	}
+	if !reflect.DeepEqual(seq.countries, par.countries) {
+		t.Errorf("ClientCountries diverges:\nseq %+v\npar %+v", seq.countries, par.countries)
+	}
+	if !reflect.DeepEqual(seq.hashes, par.hashes) {
+		t.Errorf("ComputeHashStats diverges (len %d vs %d)", len(seq.hashes), len(par.hashes))
+	}
+
+	// And the parallel path itself is stable call to call.
+	again := take()
+	if !reflect.DeepEqual(par, again) {
+		t.Error("parallel aggregation is not deterministic across calls")
+	}
+}
+
+// TestClientStatsSortedByIP pins the output-order fix: map iteration
+// order must not leak into the result.
+func TestClientStatsSortedByIP(t *testing.T) {
+	s := store.New(epoch)
+	for _, ip := range []string{"9.9.9.9", "1.1.1.1", "5.5.5.5", "3.3.3.3"} {
+		s.Add(mk{day: 0, pot: 0, ip: ip, logins: failLogin()}.rec())
+	}
+	cs := ComputeClientStats(s, -1)
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].IP >= cs[i].IP {
+			t.Fatalf("client stats not sorted by IP: %+v", cs)
+		}
+	}
+}

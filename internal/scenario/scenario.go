@@ -27,6 +27,9 @@ type Scenario struct {
 	// category. Empty keeps the paper's Table 1 splits.
 	SSHShares map[string]float64 `json:"ssh_shares,omitempty"`
 	Spikes    []Spike            `json:"spikes,omitempty"`
+	// Workers is the generation fan-out (0 = GOMAXPROCS). The dataset is
+	// byte-identical for any value, so this is purely a speed knob.
+	Workers int `json:"workers,omitempty"`
 	// DisableDefaultSpikes drops the paper's built-in spike schedule
 	// when custom spikes are given (default: custom spikes replace the
 	// schedule entirely).
@@ -79,6 +82,7 @@ func (sc Scenario) Config() (workload.Config, error) {
 		Days:             sc.Days,
 		NumPots:          sc.Pots,
 		DisableCampaigns: sc.DisableCampaigns,
+		Workers:          sc.Workers,
 	}
 	if len(sc.CategoryShares) > 0 {
 		shares, err := shareArray(sc.CategoryShares, true)

@@ -17,17 +17,33 @@ import (
 )
 
 // Store collects session records. The zero value is not usable; create
-// with New. All methods are safe for concurrent use.
+// with New or Builder.Seal. All methods are safe for concurrent use.
 type Store struct {
 	mu    sync.RWMutex
 	recs  []*honeypot.SessionRecord
 	epoch time.Time
+	// Day-index cache: maxDay is the highest day bucket among
+	// recs[:scanned]. NumDays folds the unscanned tail in lazily, so
+	// repeated calls never rescan records that were already indexed.
+	scanned int
+	maxDay  int
 }
 
 // New creates a store whose day buckets are counted from epoch (the
 // observation period's first day, e.g. the paper's 2021-12-01).
 func New(epoch time.Time) *Store {
-	return &Store{epoch: epoch.Truncate(24 * time.Hour)}
+	return &Store{epoch: normalizeEpoch(epoch), maxDay: -1}
+}
+
+// normalizeEpoch aligns the epoch to its own zone's midnight and
+// converts the result to UTC so the serialized form is canonical.
+// Truncate(24h) is NOT equivalent: it operates on absolute time and
+// lands on UTC midnights, so a non-UTC epoch was silently shifted off
+// that zone's midnight — moving every day-bucket boundary by the zone
+// offset.
+func normalizeEpoch(epoch time.Time) time.Time {
+	y, m, d := epoch.Date()
+	return time.Date(y, m, d, 0, 0, 0, 0, epoch.Location()).UTC()
 }
 
 // Epoch returns the observation period start.
@@ -73,17 +89,19 @@ func (s *Store) Day(t time.Time) int {
 	return day
 }
 
-// NumDays returns one past the highest day bucket present.
+// NumDays returns one past the highest day bucket present. Only records
+// appended since the previous call are scanned; the running maximum is
+// cached, so the aggregate cost over a store's lifetime is one pass.
 func (s *Store) NumDays() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	max := -1
-	for _, r := range s.recs {
-		if d := s.Day(r.Start); d > max {
-			max = d
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.recs[s.scanned:] {
+		if d := s.Day(r.Start); d > s.maxDay {
+			s.maxDay = d
 		}
 	}
-	return max + 1
+	s.scanned = len(s.recs)
+	return s.maxDay + 1
 }
 
 // Filter returns the records matching pred, in insertion order.
@@ -97,6 +115,65 @@ func (s *Store) Filter(pred func(*honeypot.SessionRecord) bool) []*honeypot.Sess
 		}
 	}
 	return out
+}
+
+// Builder assembles a Store from per-shard buffers filled concurrently.
+// Each shard index is owned by exactly one writer at a time, so shard
+// fills need no locking; Seal concatenates the shards in index order,
+// making the final record order a pure function of the shard contents —
+// independent of how many goroutines filled them or in what order they
+// finished. This is the collector-side half of the deterministic
+// parallel generation pipeline.
+type Builder struct {
+	epoch  time.Time
+	shards [][]*honeypot.SessionRecord
+}
+
+// NewBuilder creates a builder with the given shard count. The epoch is
+// normalized exactly as New does.
+func NewBuilder(epoch time.Time, shards int) *Builder {
+	return &Builder{
+		epoch:  normalizeEpoch(epoch),
+		shards: make([][]*honeypot.SessionRecord, shards),
+	}
+}
+
+// Shards returns the builder's shard count.
+func (b *Builder) Shards() int { return len(b.shards) }
+
+// SetShard installs shard i's records. Safe for concurrent use across
+// distinct shard indexes; the caller must ensure a single writer per
+// index.
+func (b *Builder) SetShard(i int, recs []*honeypot.SessionRecord) {
+	b.shards[i] = recs
+}
+
+// AppendShard appends records to shard i under the same single-writer-
+// per-index contract as SetShard.
+func (b *Builder) AppendShard(i int, recs ...*honeypot.SessionRecord) {
+	b.shards[i] = append(b.shards[i], recs...)
+}
+
+// Seal merges the shards in index order into a Store and pre-computes
+// its day index. The builder must not be reused after Seal.
+func (b *Builder) Seal() *Store {
+	total := 0
+	for _, sh := range b.shards {
+		total += len(sh)
+	}
+	recs := make([]*honeypot.SessionRecord, 0, total)
+	for _, sh := range b.shards {
+		recs = append(recs, sh...)
+	}
+	s := &Store{epoch: b.epoch, recs: recs, maxDay: -1}
+	for _, r := range recs {
+		if d := s.Day(r.Start); d > s.maxDay {
+			s.maxDay = d
+		}
+	}
+	s.scanned = len(recs)
+	b.shards = nil
+	return s
 }
 
 // jsonlHeader is the first line of a JSONL dump, carrying store metadata.
@@ -126,7 +203,10 @@ func (s *Store) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSONL loads a store previously written by WriteJSONL.
+// ReadJSONL loads a store previously written by WriteJSONL. The header
+// count is validated unconditionally against the records actually
+// decoded, so a truncated stream or a corrupted header — including one
+// claiming zero records when records follow — is always an error.
 func ReadJSONL(r io.Reader) (*Store, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	dec := json.NewDecoder(br)
@@ -137,8 +217,17 @@ func ReadJSONL(r io.Reader) (*Store, error) {
 	if hdr.Format != formatName {
 		return nil, fmt.Errorf("store: unknown format %q", hdr.Format)
 	}
+	if hdr.Count < 0 {
+		return nil, fmt.Errorf("store: header promises negative record count %d", hdr.Count)
+	}
 	s := New(hdr.Epoch)
-	s.recs = make([]*honeypot.SessionRecord, 0, hdr.Count)
+	// Cap the pre-allocation: a corrupted count must not translate into
+	// an attacker-sized allocation before the mismatch is detected.
+	capHint := hdr.Count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	s.recs = make([]*honeypot.SessionRecord, 0, capHint)
 	for {
 		rec := new(honeypot.SessionRecord)
 		if err := dec.Decode(rec); err != nil {
@@ -149,7 +238,7 @@ func ReadJSONL(r io.Reader) (*Store, error) {
 		}
 		s.recs = append(s.recs, rec)
 	}
-	if hdr.Count != 0 && len(s.recs) != hdr.Count {
+	if len(s.recs) != hdr.Count {
 		return nil, fmt.Errorf("store: header promised %d records, found %d", hdr.Count, len(s.recs))
 	}
 	return s, nil

@@ -98,6 +98,192 @@ func TestReadJSONLErrors(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader(`{"format":"honeyfarm-sessions-v1","count":1}` + "\n" + "not-json\n")); err == nil {
 		t.Error("garbage record should fail")
 	}
+	if _, err := ReadJSONL(strings.NewReader(`{"format":"honeyfarm-sessions-v1","count":-3}` + "\n")); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+// TestReadJSONLZeroCountHeader covers the corrupted-header case the old
+// `hdr.Count != 0` guard waved through: a header claiming zero records
+// followed by actual records must be rejected, not silently accepted.
+func TestReadJSONLZeroCountHeader(t *testing.T) {
+	s := New(epoch)
+	s.Add(rec(0, 1, "1.1.1.1"))
+	s.Add(rec(1, 2, "2.2.2.2"))
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(buf.String(), "\n", 2)
+	corrupted := strings.Replace(lines[0], `"count":2`, `"count":0`, 1) + "\n" + lines[1]
+	if corrupted == buf.String() {
+		t.Fatal("test setup: header rewrite did not change anything")
+	}
+	if _, err := ReadJSONL(strings.NewReader(corrupted)); err == nil {
+		t.Error("count:0 header with records present should fail")
+	}
+}
+
+// TestReadJSONLTruncated drops the last record line from a valid dump
+// and expects the count validation to catch the truncation.
+func TestReadJSONLTruncated(t *testing.T) {
+	s := New(epoch)
+	for i := 0; i < 3; i++ {
+		s.Add(rec(i, i, "3.3.3.3"))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	cut := strings.LastIndex(strings.TrimSuffix(full, "\n"), "\n")
+	truncated := full[:cut+1]
+	if _, err := ReadJSONL(strings.NewReader(truncated)); err == nil {
+		t.Error("truncated stream should fail count validation")
+	}
+	// A partially-written final line (no trailing newline, cut mid-JSON)
+	// must also fail, via either decode error or count mismatch.
+	if _, err := ReadJSONL(strings.NewReader(full[:len(full)-10])); err == nil {
+		t.Error("mid-record truncation should fail")
+	}
+}
+
+// TestNonUTCEpoch pins the epoch-normalization fix: a non-UTC epoch must
+// bucket days from that zone's midnight, not the nearest UTC midnight.
+func TestNonUTCEpoch(t *testing.T) {
+	tokyo := time.FixedZone("UTC+9", 9*3600)
+	// 10:30 local on 2021-12-01 in UTC+9. That zone's midnight is
+	// 2021-11-30T15:00:00Z; Truncate(24h) would have landed on
+	// 2021-12-01T00:00:00Z — nine hours late.
+	e := time.Date(2021, 12, 1, 10, 30, 0, 0, tokyo)
+	s := New(e)
+	wantEpoch := time.Date(2021, 11, 30, 15, 0, 0, 0, time.UTC)
+	if !s.Epoch().Equal(wantEpoch) {
+		t.Fatalf("Epoch = %v, want %v", s.Epoch(), wantEpoch)
+	}
+	// One minute after local midnight is day 0; one minute before local
+	// midnight of the next day is still day 0; local midnight +24h is day 1.
+	if d := s.Day(time.Date(2021, 12, 1, 0, 1, 0, 0, tokyo)); d != 0 {
+		t.Errorf("Day(00:01 local) = %d, want 0", d)
+	}
+	if d := s.Day(time.Date(2021, 12, 1, 23, 59, 0, 0, tokyo)); d != 0 {
+		t.Errorf("Day(23:59 local) = %d, want 0", d)
+	}
+	if d := s.Day(time.Date(2021, 12, 2, 0, 1, 0, 0, tokyo)); d != 1 {
+		t.Errorf("Day(next 00:01 local) = %d, want 1", d)
+	}
+	// UTC epochs are unaffected by the fix.
+	if got := New(epoch.Add(5 * time.Hour)).Epoch(); !got.Equal(epoch) {
+		t.Errorf("UTC epoch normalization changed: %v, want %v", got, epoch)
+	}
+}
+
+// TestNumDaysIncremental checks the lazy day-index cache tracks appends.
+func TestNumDaysIncremental(t *testing.T) {
+	s := New(epoch)
+	if s.NumDays() != 0 {
+		t.Fatalf("empty NumDays = %d, want 0", s.NumDays())
+	}
+	s.Add(rec(4, 1, "1.1.1.1"))
+	if s.NumDays() != 5 {
+		t.Fatalf("NumDays = %d, want 5", s.NumDays())
+	}
+	// Appends after a NumDays call must still be folded in.
+	s.AddBatch([]*honeypot.SessionRecord{rec(2, 1, "1.1.1.1"), rec(9, 2, "2.2.2.2")})
+	if s.NumDays() != 10 {
+		t.Fatalf("NumDays after append = %d, want 10", s.NumDays())
+	}
+	// Idempotent on repeat.
+	if s.NumDays() != 10 {
+		t.Fatalf("NumDays repeat = %d, want 10", s.NumDays())
+	}
+}
+
+// TestBuilderSeal verifies shard-order concatenation and that the sealed
+// store's day index matches a sequentially-built store.
+func TestBuilderSeal(t *testing.T) {
+	b := NewBuilder(epoch, 3)
+	if b.Shards() != 3 {
+		t.Fatalf("Shards = %d", b.Shards())
+	}
+	// Fill shards out of order, as concurrent workers would.
+	b.SetShard(2, []*honeypot.SessionRecord{rec(7, 30, "3.3.3.3")})
+	b.SetShard(0, []*honeypot.SessionRecord{rec(0, 10, "1.1.1.1"), rec(1, 11, "1.1.1.2")})
+	b.AppendShard(1, rec(3, 20, "2.2.2.2"))
+	s := b.Seal()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	wantPots := []int{10, 11, 20, 30}
+	for i, r := range s.Records() {
+		if r.HoneypotID != wantPots[i] {
+			t.Errorf("record %d pot = %d, want %d (shard-order merge broken)", i, r.HoneypotID, wantPots[i])
+		}
+	}
+	if s.NumDays() != 8 {
+		t.Errorf("NumDays = %d, want 8", s.NumDays())
+	}
+	// Appending after seal must still be reflected (cache folds the tail).
+	s.Add(rec(12, 40, "4.4.4.4"))
+	if s.NumDays() != 13 {
+		t.Errorf("NumDays after post-seal add = %d, want 13", s.NumDays())
+	}
+}
+
+func TestConcurrentBuilderShards(t *testing.T) {
+	const shards = 16
+	b := NewBuilder(epoch, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				b.AppendShard(n, rec(j%10, n, "1.2.3.4"))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := b.Seal().Len(); got != shards*50 {
+		t.Errorf("sealed Len = %d, want %d", got, shards*50)
+	}
+}
+
+// TestConcurrentAddBatchAndRecords hammers writers against readers so
+// `go test -race` exercises the AddBatch/Records/NumDays lock protocol.
+func TestConcurrentAddBatchAndRecords(t *testing.T) {
+	s := New(epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.AddBatch([]*honeypot.SessionRecord{rec(j%10, n, "1.2.3.4"), rec(j%7, n, "4.3.2.1")})
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				snap := s.Records()
+				for _, r := range snap {
+					_ = r.HoneypotID
+				}
+				_ = s.NumDays()
+				_ = s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 4*50*2 {
+		t.Errorf("Len = %d, want %d", s.Len(), 4*50*2)
+	}
+	if s.NumDays() != 10 {
+		t.Errorf("NumDays = %d, want 10", s.NumDays())
+	}
 }
 
 func TestConcurrentAdd(t *testing.T) {

@@ -13,7 +13,9 @@ import (
 	"honeyfarm/internal/malware"
 )
 
-// campaign is a scheduled hash campaign ready to emit sessions.
+// campaign is a scheduled hash campaign ready to plan sessions. The
+// cursor fields mutate only during the sequential planning pass; by the
+// time decoration workers read a campaign it is immutable.
 type campaign struct {
 	label      string
 	hash       string
@@ -25,6 +27,7 @@ type campaign struct {
 	pots       []int
 	commands   []honeypot.CommandRecord
 	uri        string
+	filePath   string // dropped-file path, precomputed from label
 	user       string
 	password   string
 	telnetBias float64 // fraction of sessions over telnet
@@ -136,6 +139,7 @@ func (g *generator) scaleArchetype(a malware.Archetype, sessScale float64) *camp
 		ips:        g.campaignIPs(ips, pots, a.URI),
 		pots:       pots,
 		commands:   scriptToCommands(malware.ScriptFor(a)),
+		filePath:   "/tmp/." + strings.ToLower(a.Label),
 		user:       a.User,
 		password:   a.Password,
 	}
@@ -188,6 +192,7 @@ func (g *generator) midTierCampaign(i int) *campaign {
 		ips:        g.campaignIPs(nips, pots, uri),
 		pots:       pots,
 		commands:   genericTemplates[g.rng.Intn(len(genericTemplates))],
+		filePath:   fmt.Sprintf("/tmp/.mid-%d", i),
 	}
 	if uri {
 		c.category = analysis.CmdURI
@@ -343,15 +348,18 @@ func scriptToCommands(script []string) []honeypot.CommandRecord {
 	return out
 }
 
-// emitCampaign generates the campaign's sessions across its active days.
+// planCampaign schedules the campaign's sessions across its active days.
 // Each day uses a rotating window into the campaign's IP list, so most
 // campaign clients are seen on only one or two days (Figure 13), and a
 // quarter of sessions are preceded by a FAIL_LOG brute-force session
 // from the same client — campaign bots guess before they land, which is
 // how CMD clients end up overlapping FAIL_LOG clients (Section 7.3).
-func (g *generator) emitCampaign(c *campaign) {
+//
+// The intrusion's start time is drawn here, not in the decorator: its
+// FAIL_LOG precursor must start minutes earlier, and the pair may land
+// in different decoration shards.
+func (g *generator) planCampaign(c *campaign) {
 	perDay := float64(c.sessions) / float64(len(c.activeDays))
-	batch := make([]*honeypot.SessionRecord, 0, 4096)
 	emitted := 0
 	for di, day := range c.activeDays {
 		n := int(perDay*(0.7+0.6*g.rng.Float64()) + 0.5)
@@ -362,56 +370,29 @@ func (g *generator) emitCampaign(c *campaign) {
 			n = c.sessions - emitted // make up any rounding shortfall
 		}
 		for i := 0; i < n; i++ {
-			ipIdx := (c.ipCursor + i) % len(c.ips)
-			rec := g.campaignSession(c, day, ipIdx)
+			ip := c.ips[(c.ipCursor+i)%len(c.ips)]
+			pot := g.campaignSessionPot(c, ip)
+			start := g.dayStart(g.rng, day)
 			if g.rng.Float64() < 0.4 {
-				batch = append(batch, g.campaignFailLog(c, day, rec))
+				g.plan = append(g.plan, planned{
+					kind: kindCampaignFail, cat: analysis.FailLog, day: day,
+					pot: pot, ip: ip, start: start, camp: c,
+				})
 			}
-			batch = append(batch, rec)
-			if len(batch) >= 4096 {
-				g.st.AddBatch(batch)
-				batch = make([]*honeypot.SessionRecord, 0, 4096)
-			}
+			g.plan = append(g.plan, planned{
+				kind: kindCampaign, cat: c.category, day: day,
+				pot: pot, ip: ip, start: start, camp: c,
+			})
 		}
 		c.ipCursor += n // disjoint day-windows: most bot IPs appear once
 		emitted += n
 	}
-	g.st.AddBatch(batch)
 }
 
-// campaignFailLog emits the brute-force session preceding a campaign
-// intrusion: same client, same honeypot, minutes earlier, failed logins.
-func (g *generator) campaignFailLog(c *campaign, day int, intrusion *honeypot.SessionRecord) *honeypot.SessionRecord {
-	g.nextID++
-	start := intrusion.Start.Add(-time.Duration(30+g.rng.Intn(600)) * time.Second)
-	rec := &honeypot.SessionRecord{
-		ID:          g.nextID,
-		HoneypotID:  intrusion.HoneypotID,
-		Protocol:    honeypot.SSH,
-		ClientIP:    intrusion.ClientIP,
-		ClientPort:  1024 + g.rng.Intn(60000),
-		Start:       start,
-		Logins:      g.failedLogins(),
-		Termination: honeypot.TermClient,
-	}
-	rec.ClientVersion = clientVersions[g.rng.Intn(len(clientVersions))]
-	rec.End = start.Add(time.Duration(3+g.rng.Intn(20)) * time.Second)
-	return rec
-}
-
-func (g *generator) campaignSession(c *campaign, day, ipIdx int) *honeypot.SessionRecord {
-	g.nextID++
-	proto := honeypot.SSH
-	if g.rng.Float64() < c.telnetBias {
-		proto = honeypot.Telnet
-	}
-	start := g.cfg.Epoch.Add(time.Duration(day)*24*time.Hour +
-		time.Duration(g.rng.Int63n(int64(24*time.Hour))))
-	user, pw := c.user, c.password
-	if user == "" {
-		user, pw = "root", topPasswords[g.rng.Intn(len(topPasswords))]
-	}
-	ip := c.ips[ipIdx]
+// campaignSessionPot resolves one campaign session's honeypot: the
+// bot's personal slice, the URI-campaign locality bias, then the
+// first-pass coverage override.
+func (g *generator) campaignSessionPot(c *campaign, ip string) int {
 	pot := campaignPot(c, ip, g.rng)
 	// URI campaign bots prefer honeypots near home (Figure 16(b)).
 	if c.uri != "" && c.potsByCountry != nil && g.rng.Float64() < 0.6 {
@@ -430,33 +411,67 @@ func (g *generator) campaignSession(c *campaign, day, ipIdx int) *honeypot.Sessi
 		pot = c.pots[c.potSeq]
 		c.potSeq++
 	}
+	return pot
+}
+
+// decorateCampaignFail builds the brute-force session preceding a
+// campaign intrusion: same client, same honeypot, minutes earlier,
+// failed logins. p.start is the paired intrusion's start.
+func decorateCampaignFail(rng *rand.Rand, p *planned, id uint64) *honeypot.SessionRecord {
+	start := p.start.Add(-time.Duration(30+rng.Intn(600)) * time.Second)
 	rec := &honeypot.SessionRecord{
-		ID:         g.nextID,
-		HoneypotID: pot,
+		ID:            id,
+		HoneypotID:    p.pot,
+		Protocol:      honeypot.SSH,
+		ClientIP:      p.ip,
+		ClientPort:    1024 + rng.Intn(60000),
+		Start:         start,
+		ClientVersion: clientVersions[rng.Intn(len(clientVersions))],
+		Logins:        failedLogins(rng),
+		Termination:   honeypot.TermClient,
+	}
+	rec.End = start.Add(time.Duration(3+rng.Intn(20)) * time.Second)
+	return rec
+}
+
+// decorateCampaign builds one campaign intrusion record.
+func (g *generator) decorateCampaign(rng *rand.Rand, p *planned, id uint64) *honeypot.SessionRecord {
+	c := p.camp
+	proto := honeypot.SSH
+	if rng.Float64() < c.telnetBias {
+		proto = honeypot.Telnet
+	}
+	user, pw := c.user, c.password
+	if user == "" {
+		user, pw = "root", topPasswords[rng.Intn(len(topPasswords))]
+	}
+	rec := &honeypot.SessionRecord{
+		ID:         id,
+		HoneypotID: p.pot,
 		Protocol:   proto,
-		ClientIP:   ip,
-		ClientPort: 1024 + g.rng.Intn(60000),
-		Start:      start,
+		ClientIP:   p.ip,
+		ClientPort: 1024 + rng.Intn(60000),
+		Start:      p.start,
 		Logins:     []honeypot.LoginAttempt{{User: user, Password: pw, Success: true}},
 		Commands:   c.commands,
 		Files: []honeypot.FileRecord{{
-			Path: "/tmp/." + strings.ToLower(c.label), Hash: c.hash, Op: "create", Size: 1024,
+			Path: c.filePath, Hash: c.hash, Op: "create", Size: 1024,
 		}},
 		Termination: honeypot.TermExit,
 	}
 	if proto == honeypot.SSH {
-		rec.ClientVersion = clientVersions[g.rng.Intn(len(clientVersions))]
+		rec.ClientVersion = clientVersions[rng.Intn(len(clientVersions))]
 	}
-	dur := time.Duration((15 + g.rng.ExpFloat64()*40) * float64(time.Second))
+	dur := time.Duration((15 + rng.ExpFloat64()*40) * float64(time.Second))
 	if c.uri != "" {
 		rec.URIs = []string{c.uri}
-		if g.rng.Float64() < 0.15 {
-			dur = 180*time.Second + time.Duration(g.rng.ExpFloat64()*float64(100*time.Second))
+		if rng.Float64() < 0.15 {
+			dur = 180*time.Second + time.Duration(rng.ExpFloat64()*float64(100*time.Second))
 		}
 	}
 	if dur > 178*time.Second && c.uri == "" {
 		dur = 178 * time.Second
 	}
-	rec.End = start.Add(dur)
+	rec.End = p.start.Add(dur)
 	return rec
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"honeyfarm/internal/analysis"
@@ -60,6 +63,12 @@ type Config struct {
 	Registry      *geo.Registry
 	Epoch         time.Time
 	Spikes        []Spike // default DefaultSpikes()
+	// Workers is the number of goroutines decorating planned sessions
+	// into records (default GOMAXPROCS). The output is byte-identical
+	// for every value: record noise comes from per-shard rand streams
+	// derived from Seed and the shard index, and shards merge in index
+	// order, so Workers only changes wall-clock time, never the dataset.
+	Workers int
 	// IPDivisor scales campaign client-IP counts (default 40). Counts
 	// below 100 are kept absolute so "handful of IPs" campaigns stay
 	// a handful.
@@ -103,15 +112,48 @@ type recentHash struct {
 	pot  int
 }
 
-// generator carries the run state.
+// Plan-entry kinds. The planning pass resolves everything that needs
+// shared generator state — actor identity, honeypot choice, file-hash
+// reuse, campaign cursors — into one of these; the decoration pass then
+// fills in pure per-record noise from an isolated shard rand stream.
+const (
+	kindGeneric uint8 = iota
+	kindCompanion
+	kindCampaign
+	kindCampaignFail
+)
+
+// planned is one scheduled session awaiting decoration. It pins the
+// state-coupled identity of the record (who, where, which day, which
+// hashes, which campaign); the decorator fills in everything whose
+// distribution is independent per record (protocol, port, timestamps,
+// credential lists, durations).
+type planned struct {
+	kind uint8
+	cat  analysis.Category
+	day  int
+	pot  int
+	ip   string
+	// start anchors campaign records: the intrusion's start is drawn in
+	// the plan because its FAIL_LOG precursor — possibly decorated in a
+	// different shard — must start minutes before it.
+	start time.Time
+	camp  *campaign
+	// hashes are the file hashes of a generic CMD/CMD+URI session,
+	// resolved in the plan because the reuse pool is shared state.
+	hashes []string
+}
+
+// generator carries the planning-pass state. Everything mutable in here
+// is owned by the single sequential planning goroutine; the decoration
+// workers only read cfg, shares and the finished plan.
 type generator struct {
 	cfg       Config
 	shares    [analysis.NumCategories]float64
 	sshShares [analysis.NumCategories]float64
 	rng       *rand.Rand
-	st        *store.Store
 	pop       *population
-	nextID    uint64
+	plan      []planned
 
 	potSessionWeights []float64
 	potHashWeights    []float64
@@ -138,10 +180,19 @@ func Generate(cfg Config) (*Result, error) {
 }
 
 // GenerateRand is Generate with an explicit, caller-seeded random
-// source driving the session stream — the form the determinism contract
+// source driving the planning pass — the form the determinism contract
 // prefers. cfg.Seed still anchors the derived sub-streams that must
-// stay aligned with the farm: honeypot placement and the per-honeypot
-// weight permutations.
+// stay aligned with the farm: honeypot placement, the per-honeypot
+// weight permutations, and the per-shard decoration streams.
+//
+// Generation runs in two phases. A sequential planning pass walks the
+// calibrated schedule and resolves every decision that touches shared
+// state (actor pools, honeypot cursors, the file-hash reuse pool,
+// campaign rotation) into a flat plan. Then cfg.Workers goroutines
+// decorate fixed-size plan shards into session records, each from its
+// own rand stream seeded by (Seed, shard index), and the shards merge
+// in index order — so the serialized dataset is byte-identical for any
+// worker count, including 1.
 func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("workload: Config.Registry is required")
@@ -160,6 +211,9 @@ func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 	}
 	if cfg.Spikes == nil {
 		cfg.Spikes = DefaultSpikes()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.IPDivisor <= 0 {
 		cfg.IPDivisor = 40
@@ -182,7 +236,6 @@ func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 		shares:    shares,
 		sshShares: sshShares,
 		rng:       rng,
-		st:        store.New(cfg.Epoch),
 		// Distinct permutations: the honeypots with the most sessions are
 		// NOT the ones with the most clients or hashes (Sections 7.5, 8.4).
 		potSessionWeights: Permuted(base, cfg.Seed+101),
@@ -231,6 +284,8 @@ func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 	ephemeralFailLog := int(0.12 * 0.3 * float64(cfg.TotalSessions) * shares[analysis.NoCred])
 	campaignSessions[analysis.FailLog] += ephemeralFailLog
 
+	g.plan = make([]planned, 0, cfg.TotalSessions+cfg.TotalSessions/8)
+
 	// Generation order matters: FAIL_LOG and CMD run first so that the
 	// crossover picks building multi-role clients (Section 7.5) find
 	// populated pools.
@@ -240,14 +295,14 @@ func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 		if total < 0 {
 			total = 0
 		}
-		g.generateGeneric(c, total, cfg.Days)
+		g.planGeneric(c, total, cfg.Days)
 	}
 	for _, c := range campaigns {
-		g.emitCampaign(c)
+		g.planCampaign(c)
 	}
 
 	return &Result{
-		Store:       g.st,
+		Store:       g.decorate(),
 		Actors:      g.pop.actors,
 		Tags:        g.tags,
 		Deployments: deployments,
@@ -270,14 +325,13 @@ func numASesFor(numPots int) int {
 	return numPots
 }
 
-// generateGeneric emits the non-campaign sessions of one category.
-func (g *generator) generateGeneric(c analysis.Category, total, days int) {
+// planGeneric schedules the non-campaign sessions of one category.
+func (g *generator) planGeneric(c analysis.Category, total, days int) {
 	if total <= 0 {
 		return
 	}
 	norm := envelopeMean(c, days)
 	share := 1.0 / norm // normalize envelope so the period total ≈ total
-	batch := make([]*honeypot.SessionRecord, 0, 4096)
 	for d := 0; d < days; d++ {
 		n, spikePots := dailyQuota(g.rng, total, share, c, d, days, g.cfg.Spikes)
 		var spikeSet []int
@@ -293,15 +347,9 @@ func (g *generator) generateGeneric(c analysis.Category, total, days int) {
 			if set != nil && g.rng.Float64() < 0.3 {
 				set = nil
 			}
-			rec := g.session(c, d, a, set)
-			batch = append(batch, rec)
-			if len(batch) == cap(batch) {
-				g.st.AddBatch(batch)
-				batch = make([]*honeypot.SessionRecord, 0, 4096)
-			}
+			g.planSession(c, d, a, set)
 		}
 	}
-	g.st.AddBatch(batch)
 }
 
 // actorFor picks the session's client. NO_CMD's start/end windows route
@@ -331,7 +379,10 @@ func (g *generator) actorFor(c analysis.Category, d, target int) *actor {
 	if c == analysis.NoCred && g.rng.Float64() < 0.12 {
 		a := g.pop.newEphemeral(d, c)
 		if g.rng.Float64() < 0.3 {
-			g.emitCompanionFailLog(a, d)
+			g.plan = append(g.plan, planned{
+				kind: kindCompanion, cat: analysis.FailLog, day: d,
+				pot: a.pots[0], ip: a.ip,
+			})
 		}
 		return a
 	}
@@ -367,9 +418,10 @@ func (g *generator) spikeSet(c analysis.Category, n int) []int {
 	return set
 }
 
-// session builds one generic session record of category c.
-func (g *generator) session(c analysis.Category, day int, a *actor, spikeSet []int) *honeypot.SessionRecord {
-	g.nextID++
+// planSession schedules one generic session of category c: honeypot
+// choice (cursor-coupled) and file hashes (reuse-pool-coupled) are
+// resolved now; the rest decorates later.
+func (g *generator) planSession(c analysis.Category, day int, a *actor, spikeSet []int) {
 	pot := g.pop.potFor(a, g.rng, spikeSet)
 	// File-creating sessions concentrate on a different honeypot head
 	// than raw session volume: the paper finds the hash-richest honeypots
@@ -383,114 +435,31 @@ func (g *generator) session(c analysis.Category, day int, a *actor, spikeSet []i
 	if c == analysis.CmdURI {
 		pot = g.localizePot(a, pot)
 	}
-	proto := honeypot.Telnet
-	if g.rng.Float64() < g.sshShares[c] {
-		proto = honeypot.SSH
-	}
-	start := g.cfg.Epoch.Add(time.Duration(day)*24*time.Hour +
-		time.Duration(g.rng.Int63n(int64(24*time.Hour))))
-	rec := &honeypot.SessionRecord{
-		ID:         g.nextID,
-		HoneypotID: pot,
-		Protocol:   proto,
-		ClientIP:   a.ip,
-		ClientPort: 1024 + g.rng.Intn(60000),
-		Start:      start,
-	}
-	if proto == honeypot.SSH {
-		rec.ClientVersion = clientVersions[g.rng.Intn(len(clientVersions))]
-	}
-	var dur time.Duration
+	p := planned{kind: kindGeneric, cat: c, day: day, ip: a.ip}
 	switch c {
-	case analysis.NoCred:
-		dur, rec.Termination = g.noCredEnding()
-	case analysis.FailLog:
-		rec.Logins = g.failedLogins()
-		if len(rec.Logins) >= 3 {
-			rec.Termination = honeypot.TermAuthFailure
-		} else {
-			rec.Termination = honeypot.TermClient
-		}
-		dur = time.Duration((2 + g.rng.ExpFloat64()*8) * float64(time.Second))
-		if dur > 59*time.Second {
-			dur = 59 * time.Second
-		}
-	case analysis.NoCmd:
-		rec.Logins = g.successfulLogin()
-		if g.rng.Float64() < 0.92 {
-			// >90% of NO_CMD sessions end in the 3-minute timeout.
-			rec.Termination = honeypot.TermTimeout
-			dur = 180*time.Second + time.Duration(g.rng.Int63n(int64(6*time.Second)))
-		} else {
-			rec.Termination = honeypot.TermClient
-			dur = time.Duration(10+g.rng.Intn(160)) * time.Second
-		}
 	case analysis.Cmd:
-		rec.Logins = g.successfulLogin()
-		rec.Commands = g.genericCommands()
 		if g.rng.Float64() < 1.0/3.0 {
 			// "about one third [of command sessions] create or modify
 			// files" (Section 6).
-			files, override := g.genericFile(day, rec.HoneypotID)
-			rec.Files = files
+			hash, override := g.genericFile(day, pot)
 			if override >= 0 {
-				rec.HoneypotID = override
+				pot = override
 			}
+			p.hashes = append(p.hashes, hash)
 			if g.rng.Float64() < 0.015 {
-				extra, _ := g.genericFile(day, rec.HoneypotID)
-				rec.Files = append(rec.Files, extra...)
-			}
-		}
-		if g.rng.Float64() < 0.12 {
-			rec.Termination = honeypot.TermTimeout
-			dur = 180 * time.Second
-		} else {
-			rec.Termination = honeypot.TermExit
-			dur = time.Duration((10 + g.rng.ExpFloat64()*30) * float64(time.Second))
-			if dur > 178*time.Second {
-				dur = 178 * time.Second
+				extra, _ := g.genericFile(day, pot)
+				p.hashes = append(p.hashes, extra)
 			}
 		}
 	case analysis.CmdURI:
-		rec.Logins = g.successfulLogin()
-		rec.Commands = downloadCommands
-		rec.URIs = []string{fmt.Sprintf("http://dl-%d.example/payload", g.rng.Intn(500))}
-		files, override := g.genericFile(day, rec.HoneypotID)
-		rec.Files = files
+		hash, override := g.genericFile(day, pot)
 		if override >= 0 {
-			rec.HoneypotID = override
+			pot = override
 		}
-		dur = time.Duration((30 + g.rng.ExpFloat64()*60) * float64(time.Second))
-		if g.rng.Float64() < 0.15 {
-			// URI retrieval resets the timeout: these sessions exceed the
-			// 3-minute mark (Figure 7).
-			dur = 180*time.Second + time.Duration(g.rng.ExpFloat64()*float64(120*time.Second))
-		}
-		rec.Termination = honeypot.TermExit
+		p.hashes = append(p.hashes, hash)
 	}
-	rec.End = start.Add(dur)
-	return rec
-}
-
-// emitCompanionFailLog emits the credential-guessing session an
-// ephemeral scanner runs right after its port probe.
-func (g *generator) emitCompanionFailLog(a *actor, day int) {
-	g.nextID++
-	start := g.cfg.Epoch.Add(time.Duration(day)*24*time.Hour +
-		time.Duration(g.rng.Int63n(int64(24*time.Hour))))
-	rec := &honeypot.SessionRecord{
-		ID:            g.nextID,
-		HoneypotID:    a.pots[0],
-		Protocol:      honeypot.SSH,
-		ClientIP:      a.ip,
-		ClientPort:    1024 + g.rng.Intn(60000),
-		Start:         start,
-		ClientVersion: clientVersions[g.rng.Intn(len(clientVersions))],
-		Logins:        g.failedLogins(),
-		Termination:   honeypot.TermClient,
-	}
-	rec.End = start.Add(time.Duration(3+g.rng.Intn(25)) * time.Second)
-	g.st.Add(rec)
+	p.pot = pot
+	g.plan = append(g.plan, p)
 }
 
 // localizePot redirects a session toward a honeypot in the client's
@@ -514,14 +483,235 @@ func (g *generator) localizePot(a *actor, pot int) int {
 	return pot
 }
 
+// genericFile resolves the file hash of a generic command session: half
+// the time a brand-new single-observation hash (the long tail that
+// makes >60% of hashes honeypot-local), otherwise a recently seen one —
+// which prefers the honeypot it first landed on. The second return is
+// the honeypot override (-1 for none).
+func (g *generator) genericFile(day, pot int) (string, int) {
+	var hash string
+	override := -1
+	if len(g.recentHashes) == 0 || g.rng.Float64() < 0.4 {
+		g.tailSeq++
+		hash = malware.SyntheticHash(fmt.Sprintf("tail-%d-%d", day, g.tailSeq))
+		g.recentHashes = append(g.recentHashes, recentHash{hash: hash, pot: pot})
+		if len(g.recentHashes) > 60 {
+			g.recentHashes = g.recentHashes[len(g.recentHashes)-60:]
+		}
+	} else {
+		// Bias reuse toward the most recent hashes so reuse decays over
+		// a few days, as Figure 17's 7-day freshness implies.
+		n := len(g.recentHashes)
+		idx := n - 1 - int(math.Floor(float64(n)*math.Pow(g.rng.Float64(), 3)))
+		if idx < 0 {
+			idx = 0
+		}
+		entry := g.recentHashes[idx]
+		hash = entry.hash
+		if g.rng.Float64() < 0.75 {
+			override = entry.pot // repeat drop on the same honeypot
+		}
+	}
+	return hash, override
+}
+
+// ---- decoration: the parallel phase ----
+
+// decorateShardSize is the fixed plan-shard length. It is independent
+// of Workers on purpose: shard boundaries (and hence each record's rand
+// stream) depend only on the plan, so every worker count decorates the
+// identical dataset.
+const decorateShardSize = 4096
+
+// shardSeed derives shard i's rand seed from the root seed with a
+// splitmix64-style mix, so neighboring shards get uncorrelated streams.
+func shardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(shard)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// decorate expands the plan into session records across cfg.Workers
+// goroutines and seals them into a store. Workers claim shard indexes
+// from an atomic counter and write into per-shard builder buffers;
+// Seal's index-order merge restores the plan order regardless of which
+// worker finished when.
+func (g *generator) decorate() *store.Store {
+	nShards := (len(g.plan) + decorateShardSize - 1) / decorateShardSize
+	b := store.NewBuilder(g.cfg.Epoch, nShards)
+	workers := g.cfg.Workers
+	if workers > nShards {
+		workers = nShards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := int(next.Add(1)) - 1; shard < nShards; shard = int(next.Add(1)) - 1 {
+				g.decorateShard(b, shard)
+			}
+		}()
+	}
+	wg.Wait()
+	return b.Seal()
+}
+
+// decorateShard fills builder shard i from its derived rand stream.
+// Record IDs are the 1-based plan indexes, assigned here so they are
+// stable under any worker count.
+func (g *generator) decorateShard(b *store.Builder, shard int) {
+	rng := rand.New(rand.NewSource(shardSeed(g.cfg.Seed, shard)))
+	lo := shard * decorateShardSize
+	hi := min(lo+decorateShardSize, len(g.plan))
+	recs := make([]*honeypot.SessionRecord, hi-lo)
+	for i := lo; i < hi; i++ {
+		recs[i-lo] = g.decorateOne(rng, &g.plan[i], uint64(i)+1)
+	}
+	b.SetShard(shard, recs)
+}
+
+// decorateOne turns one planned session into a full record, drawing all
+// per-record noise from the shard stream.
+func (g *generator) decorateOne(rng *rand.Rand, p *planned, id uint64) *honeypot.SessionRecord {
+	switch p.kind {
+	case kindCompanion:
+		return g.decorateCompanion(rng, p, id)
+	case kindCampaign:
+		return g.decorateCampaign(rng, p, id)
+	case kindCampaignFail:
+		return decorateCampaignFail(rng, p, id)
+	default:
+		return g.decorateGeneric(rng, p, id)
+	}
+}
+
+// dayStart draws a uniform timestamp within the planned day.
+func (g *generator) dayStart(rng *rand.Rand, day int) time.Time {
+	return g.cfg.Epoch.Add(time.Duration(day)*24*time.Hour +
+		time.Duration(rng.Int63n(int64(24*time.Hour))))
+}
+
+// decorateGeneric builds one generic session record of category p.cat.
+func (g *generator) decorateGeneric(rng *rand.Rand, p *planned, id uint64) *honeypot.SessionRecord {
+	c := p.cat
+	proto := honeypot.Telnet
+	if rng.Float64() < g.sshShares[c] {
+		proto = honeypot.SSH
+	}
+	start := g.dayStart(rng, p.day)
+	rec := &honeypot.SessionRecord{
+		ID:         id,
+		HoneypotID: p.pot,
+		Protocol:   proto,
+		ClientIP:   p.ip,
+		ClientPort: 1024 + rng.Intn(60000),
+		Start:      start,
+	}
+	if proto == honeypot.SSH {
+		rec.ClientVersion = clientVersions[rng.Intn(len(clientVersions))]
+	}
+	var dur time.Duration
+	switch c {
+	case analysis.NoCred:
+		dur, rec.Termination = noCredEnding(rng)
+	case analysis.FailLog:
+		rec.Logins = failedLogins(rng)
+		if len(rec.Logins) >= 3 {
+			rec.Termination = honeypot.TermAuthFailure
+		} else {
+			rec.Termination = honeypot.TermClient
+		}
+		dur = time.Duration((2 + rng.ExpFloat64()*8) * float64(time.Second))
+		if dur > 59*time.Second {
+			dur = 59 * time.Second
+		}
+	case analysis.NoCmd:
+		rec.Logins = successfulLogin(rng)
+		if rng.Float64() < 0.92 {
+			// >90% of NO_CMD sessions end in the 3-minute timeout.
+			rec.Termination = honeypot.TermTimeout
+			dur = 180*time.Second + time.Duration(rng.Int63n(int64(6*time.Second)))
+		} else {
+			rec.Termination = honeypot.TermClient
+			dur = time.Duration(10+rng.Intn(160)) * time.Second
+		}
+	case analysis.Cmd:
+		rec.Logins = successfulLogin(rng)
+		rec.Commands = genericCommands(rng)
+		if len(p.hashes) > 0 {
+			rec.Files = fileRecords(rng, p.hashes)
+		}
+		if rng.Float64() < 0.12 {
+			rec.Termination = honeypot.TermTimeout
+			dur = 180 * time.Second
+		} else {
+			rec.Termination = honeypot.TermExit
+			dur = time.Duration((10 + rng.ExpFloat64()*30) * float64(time.Second))
+			if dur > 178*time.Second {
+				dur = 178 * time.Second
+			}
+		}
+	case analysis.CmdURI:
+		rec.Logins = successfulLogin(rng)
+		rec.Commands = downloadCommands
+		rec.URIs = []string{fmt.Sprintf("http://dl-%d.example/payload", rng.Intn(500))}
+		rec.Files = fileRecords(rng, p.hashes)
+		dur = time.Duration((30 + rng.ExpFloat64()*60) * float64(time.Second))
+		if rng.Float64() < 0.15 {
+			// URI retrieval resets the timeout: these sessions exceed the
+			// 3-minute mark (Figure 7).
+			dur = 180*time.Second + time.Duration(rng.ExpFloat64()*float64(120*time.Second))
+		}
+		rec.Termination = honeypot.TermExit
+	}
+	rec.End = start.Add(dur)
+	return rec
+}
+
+// decorateCompanion builds the credential-guessing session an ephemeral
+// scanner runs right after its port probe.
+func (g *generator) decorateCompanion(rng *rand.Rand, p *planned, id uint64) *honeypot.SessionRecord {
+	start := g.dayStart(rng, p.day)
+	rec := &honeypot.SessionRecord{
+		ID:            id,
+		HoneypotID:    p.pot,
+		Protocol:      honeypot.SSH,
+		ClientIP:      p.ip,
+		ClientPort:    1024 + rng.Intn(60000),
+		Start:         start,
+		ClientVersion: clientVersions[rng.Intn(len(clientVersions))],
+		Logins:        failedLogins(rng),
+		Termination:   honeypot.TermClient,
+	}
+	rec.End = start.Add(time.Duration(3+rng.Intn(25)) * time.Second)
+	return rec
+}
+
+// fileRecords materializes planned file hashes as file records.
+func fileRecords(rng *rand.Rand, hashes []string) []honeypot.FileRecord {
+	out := make([]honeypot.FileRecord, len(hashes))
+	for i, h := range hashes {
+		out[i] = honeypot.FileRecord{
+			Path: "/var/tmp/.x", Hash: h, Op: "create", Size: 64 + rng.Intn(4096),
+		}
+	}
+	return out
+}
+
 // noCredEnding draws the duration/termination of a scan session:
 // mostly client-closed within seconds, a fraction idling into the
 // pre-auth timeout (Figure 7's first dashed line).
-func (g *generator) noCredEnding() (time.Duration, honeypot.Termination) {
-	if g.rng.Float64() < 0.15 {
+func noCredEnding(rng *rand.Rand) (time.Duration, honeypot.Termination) {
+	if rng.Float64() < 0.15 {
 		return 60 * time.Second, honeypot.TermTimeout
 	}
-	d := time.Duration((0.5 + g.rng.ExpFloat64()*4) * float64(time.Second))
+	d := time.Duration((0.5 + rng.ExpFloat64()*4) * float64(time.Second))
 	if d > 59*time.Second {
 		d = 59 * time.Second
 	}
@@ -556,39 +746,39 @@ var failUsers = []string{"nproc", "admin", "user", "test", "ubuntu", "oracle", "
 // successfulLogin draws the credential list of a logged-in session:
 // possibly failed attempts first, then a success with a Table 2-shaped
 // password (Zipf over the top list plus a random tail).
-func (g *generator) successfulLogin() []honeypot.LoginAttempt {
+func successfulLogin(rng *rand.Rand) []honeypot.LoginAttempt {
 	var out []honeypot.LoginAttempt
-	for g.rng.Float64() < 0.25 && len(out) < 2 {
+	for rng.Float64() < 0.25 && len(out) < 2 {
 		out = append(out, honeypot.LoginAttempt{
-			User: "root", Password: extraPasswords[g.rng.Intn(len(extraPasswords))],
+			User: "root", Password: extraPasswords[rng.Intn(len(extraPasswords))],
 		})
 	}
 	var pw string
-	if g.rng.Float64() < 0.8 {
+	if rng.Float64() < 0.8 {
 		// Zipf over the top-10 list.
-		rank := int(math.Floor(10 * math.Pow(g.rng.Float64(), 2.2)))
+		rank := int(math.Floor(10 * math.Pow(rng.Float64(), 2.2)))
 		if rank > 9 {
 			rank = 9
 		}
 		pw = topPasswords[rank]
 	} else {
-		pw = extraPasswords[g.rng.Intn(len(extraPasswords))]
+		pw = extraPasswords[rng.Intn(len(extraPasswords))]
 	}
 	return append(out, honeypot.LoginAttempt{User: "root", Password: pw, Success: true})
 }
 
 // failedLogins draws a FAIL_LOG session's attempts: wrong usernames or
 // root:root, one to three tries.
-func (g *generator) failedLogins() []honeypot.LoginAttempt {
-	n := 1 + g.rng.Intn(3)
+func failedLogins(rng *rand.Rand) []honeypot.LoginAttempt {
+	n := 1 + rng.Intn(3)
 	out := make([]honeypot.LoginAttempt, 0, n)
 	for i := 0; i < n; i++ {
-		if g.rng.Float64() < 0.35 {
+		if rng.Float64() < 0.35 {
 			out = append(out, honeypot.LoginAttempt{User: "root", Password: "root"})
 		} else {
 			out = append(out, honeypot.LoginAttempt{
-				User:     failUsers[g.rng.Intn(len(failUsers))],
-				Password: extraPasswords[g.rng.Intn(len(extraPasswords))],
+				User:     failUsers[rng.Intn(len(failUsers))],
+				Password: extraPasswords[rng.Intn(len(extraPasswords))],
 			})
 		}
 	}
@@ -641,48 +831,14 @@ var (
 	}
 )
 
-func (g *generator) genericCommands() []honeypot.CommandRecord {
+func genericCommands(rng *rand.Rand) []honeypot.CommandRecord {
 	// Weighted toward recon, matching Table 3's head.
-	switch r := g.rng.Float64(); {
+	switch r := rng.Float64(); {
 	case r < 0.40:
 		return reconCommands
 	case r < 0.60:
 		return reconShort
 	default:
-		return genericTemplates[2+g.rng.Intn(len(genericTemplates)-2)]
+		return genericTemplates[2+rng.Intn(len(genericTemplates)-2)]
 	}
-}
-
-// genericFile attaches a file hash to a generic command session: half
-// the time a brand-new single-observation hash (the long tail that
-// makes >60% of hashes honeypot-local), otherwise a recently seen one —
-// which prefers the honeypot it first landed on. The second return is
-// the honeypot override (-1 for none).
-func (g *generator) genericFile(day, pot int) ([]honeypot.FileRecord, int) {
-	var hash string
-	override := -1
-	if len(g.recentHashes) == 0 || g.rng.Float64() < 0.4 {
-		g.tailSeq++
-		hash = malware.SyntheticHash(fmt.Sprintf("tail-%d-%d", day, g.tailSeq))
-		g.recentHashes = append(g.recentHashes, recentHash{hash: hash, pot: pot})
-		if len(g.recentHashes) > 60 {
-			g.recentHashes = g.recentHashes[len(g.recentHashes)-60:]
-		}
-	} else {
-		// Bias reuse toward the most recent hashes so reuse decays over
-		// a few days, as Figure 17's 7-day freshness implies.
-		n := len(g.recentHashes)
-		idx := n - 1 - int(math.Floor(float64(n)*math.Pow(g.rng.Float64(), 3)))
-		if idx < 0 {
-			idx = 0
-		}
-		entry := g.recentHashes[idx]
-		hash = entry.hash
-		if g.rng.Float64() < 0.75 {
-			override = entry.pot // repeat drop on the same honeypot
-		}
-	}
-	return []honeypot.FileRecord{{
-		Path: "/var/tmp/.x", Hash: hash, Op: "create", Size: 64 + g.rng.Intn(4096),
-	}}, override
 }

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench.sh — record a benchmark baseline as BENCH_<n>.json in the repo
+# root, picking the first unused n. The default run is the sharded
+# generation pipeline's scaling benchmark (BenchmarkGenerateWorkers);
+# pass a different -bench regexp and/or -benchtime as $1 and $2:
+#
+#   scripts/bench.sh                     # GenerateWorkers, 1x
+#   scripts/bench.sh 'Generate' 3x       # wider sweep, 3 iterations
+#
+# The baseline embeds the machine's core count: worker-scaling numbers
+# are only comparable between baselines recorded on similar machines,
+# and a single-core box cannot show a parallel speedup at all.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bench="${1:-GenerateWorkers}"
+benchtime="${2:-1x}"
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+raw=$(go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count 1 .)
+
+{
+    echo "{"
+    echo "  \"baseline\": ${n},"
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"goos\": \"$(go env GOOS)\","
+    echo "  \"goarch\": \"$(go env GOARCH)\","
+    echo "  \"cores\": ${cores},"
+    echo "  \"bench\": \"${bench}\","
+    echo "  \"benchtime\": \"${benchtime}\","
+    echo "  \"results\": ["
+    printf '%s\n' "$raw" | awk '
+        /^Benchmark/ {
+            name = $1; iters = $2; nsop = $3
+            sps = ""
+            for (i = 4; i <= NF; i++) if ($i == "sessions/s") sps = $(i - 1)
+            if (emitted) printf ",\n"
+            printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
+            if (sps != "") printf ", \"sessions_per_sec\": %s", sps
+            printf "}"
+            emitted = 1
+        }
+        END { if (emitted) printf "\n" }'
+    echo "  ]"
+    echo "}"
+} >"$out"
+
+echo "wrote ${out} (${cores} cores)"

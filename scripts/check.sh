@@ -7,6 +7,8 @@
 #   go build     the module compiles
 #   lint         the repo's own analyzer suite (see internal/lint), zero findings
 #   go test -race  full test suite under the race detector
+#   bench smoke  every benchmark runs once (-benchtime=1x), so a broken
+#                benchmark cannot sit undetected until a baseline run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,5 +32,8 @@ go run ./cmd/lint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> benchmark smoke (go test -bench=. -benchtime=1x)"
+go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null
 
 echo "all checks passed"
