@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	reproduce [-sessions 400000] [-seed 1] [-out report.txt]
+//	reproduce [-sessions 400000] [-seed 1] [-out report.txt] [-faults plan.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"honeyfarm"
 	"honeyfarm/internal/analysis"
@@ -25,7 +27,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "report path (default stdout)")
 	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS); output is identical for any value")
+	faultsArg := flag.String("faults", "", "fault plan: path to a JSON file, or inline JSON starting with '{' (deterministic per seed)")
 	flag.Parse()
+
+	plan, err := loadFaultPlan(*faultsArg, *seed)
+	if err != nil {
+		log.Fatalf("fault plan: %v", err)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -39,14 +47,72 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating %d sessions (scale 1/%d of the paper)...\n",
 		*sessions, 402_000_000/max(1, *sessions))
-	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{Seed: *seed, TotalSessions: *sessions, Workers: *workers})
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: *seed, TotalSessions: *sessions, Workers: *workers, Faults: plan,
+	})
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}
 
+	if d.Faults != nil {
+		WriteAvailability(w, d)
+	}
 	WriteComparison(w, d)
 	fmt.Fprintf(w, "\n\n======== FULL ARTIFACT REPORT ========\n")
 	d.WriteReport(w, honeyfarm.ReportOptions{})
+}
+
+// loadFaultPlan parses the -faults argument: empty means no plan, a
+// leading '{' means inline JSON, anything else is a file path. A plan
+// with no seed of its own inherits the run seed, keeping one -seed flag
+// in charge of the whole reproduction.
+func loadFaultPlan(arg string, seed int64) (*honeyfarm.FaultPlan, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	raw := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	var plan honeyfarm.FaultPlan
+	if err := json.Unmarshal(raw, &plan); err != nil {
+		return nil, err
+	}
+	if plan.Seed == 0 {
+		plan.Seed = seed
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &plan, nil
+}
+
+// WriteAvailability prints the per-honeypot availability table of a
+// faulted run: the pots that lost time or sessions, plus farm totals.
+func WriteAvailability(w io.Writer, d *honeyfarm.Dataset) {
+	rows := d.Availability()
+	fmt.Fprintln(w, "======== PER-HONEYPOT AVAILABILITY (faulted run) ========")
+	fmt.Fprintf(w, "%-6s %-10s %-10s %-14s %-10s %s\n",
+		"pot", "sessions", "down_days", "availability", "down_drops", "conn_drops")
+	downPots, totalDown, totalConn := 0, 0, 0
+	for _, r := range rows {
+		totalDown += r.DowntimeDrops
+		totalConn += r.ConnDrops
+		if r.DownDays == 0 && r.DowntimeDrops == 0 && r.ConnDrops == 0 {
+			continue
+		}
+		if r.DownDays > 0 {
+			downPots++
+		}
+		fmt.Fprintf(w, "%-6d %-10d %-10d %-14.3f %-10d %d\n",
+			r.Pot, r.Sessions, r.DownDays, r.Availability, r.DowntimeDrops, r.ConnDrops)
+	}
+	fmt.Fprintf(w, "totals: %d pots with outage windows, %d sessions lost to downtime, %d to connection faults\n\n",
+		downPots, totalDown, totalConn)
 }
 
 func max(a, b int) int {

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"honeyfarm/internal/analysis"
 )
 
 // TestSameSeedByteIdentical is the determinism regression test behind
@@ -102,5 +104,101 @@ func TestWorkersByteIdentical(t *testing.T) {
 	// Repeat a parallel run: the parallel path itself must be stable.
 	if again := generate(4); !bytes.Equal(ref, again) {
 		t.Error("repeated workers=4 run diverges; parallel generation is nondeterministic")
+	}
+}
+
+// TestFaultsByteIdentical extends the determinism contract to fault
+// injection: the same seed plus the same fault plan must produce a
+// byte-identical dataset (and availability table) on every run and at
+// every worker count, the culled survivors must be a strict subset of
+// the fault-free run, and a pot with a full-period outage must collect
+// nothing.
+func TestFaultsByteIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	plan := &FaultPlan{
+		Seed:       7,
+		RefuseRate: 0.1,
+		ResetRate:  0.07,
+		StallRate:  0.05,
+		Outages: []FaultOutage{
+			{Pot: 3, FirstDay: 0, LastDay: 29}, // down the whole period
+			{Pot: 5, FirstDay: 10, LastDay: 19},
+		},
+	}
+	base := SimulateConfig{Seed: 42, TotalSessions: 4000, Days: 30, NumPots: 24, Faults: plan}
+
+	generate := func(cfg SimulateConfig) ([]byte, *Dataset) {
+		d, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), d
+	}
+
+	rawA, dsA := generate(base)
+	rawB, dsB := generate(base)
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("same seed + same fault plan produced different datasets:\n  run A: %d bytes, sha256 %x\n  run B: %d bytes, sha256 %x",
+			len(rawA), sha256.Sum256(rawA), len(rawB), sha256.Sum256(rawB))
+	}
+	if !reflect.DeepEqual(dsA.Availability(), dsB.Availability()) {
+		t.Error("same seed + same fault plan produced different availability tables")
+	}
+
+	// Worker count stays a pure speed knob under faults.
+	for _, workers := range []int{2, 7} {
+		cfg := base
+		cfg.Workers = workers
+		raw, _ := generate(cfg)
+		if !bytes.Equal(rawA, raw) {
+			t.Errorf("faulted run with workers=%d diverges from workers=default", workers)
+		}
+	}
+
+	// The faulted dataset is a strict subset of the fault-free one:
+	// culling removes records without perturbing the survivors.
+	clean := base
+	clean.Faults = nil
+	rawClean, dsClean := generate(clean)
+	if bytes.Equal(rawA, rawClean) {
+		t.Fatal("fault plan with 22% drop rate and two outages changed nothing")
+	}
+	if dsA.Sessions() >= dsClean.Sessions() {
+		t.Errorf("faulted run has %d sessions, fault-free %d; want strictly fewer",
+			dsA.Sessions(), dsClean.Sessions())
+	}
+	cleanLines := map[string]bool{}
+	for i, line := range bytes.Split(rawClean, []byte("\n")) {
+		if i > 0 { // line 0 is the header; its count differs by design
+			cleanLines[string(line)] = true
+		}
+	}
+	for i, line := range bytes.Split(rawA, []byte("\n")) {
+		if i > 0 && len(line) > 0 && !cleanLines[string(line)] {
+			t.Fatalf("faulted record %d is not byte-identical to its fault-free counterpart", i)
+		}
+	}
+
+	// The full-period outage silences pot 3; the partial one only dents
+	// pot 5. The report's accounting matches what is missing.
+	rows := dsA.Availability()
+	if rows[3].Sessions != 0 || rows[3].DownDays != 30 || rows[3].Availability != 0 {
+		t.Errorf("pot 3 (full outage) row = %+v, want 0 sessions, 30 down days", rows[3])
+	}
+	if rows[3].DowntimeDrops == 0 {
+		t.Error("pot 3 lost no sessions to its outage; the cull is vacuous")
+	}
+	if rows[5].Sessions == 0 || rows[5].DownDays != 10 {
+		t.Errorf("pot 5 (partial outage) row = %+v, want sessions > 0 and 10 down days", rows[5])
+	}
+	dropped := dsClean.Sessions() - dsA.Sessions()
+	if got := analysis.TotalDropped(rows); got != dropped {
+		t.Errorf("availability table accounts %d drops, dataset lost %d", got, dropped)
 	}
 }

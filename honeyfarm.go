@@ -25,6 +25,7 @@ import (
 	"honeyfarm/internal/analysis"
 	"honeyfarm/internal/cowrielog"
 	"honeyfarm/internal/farm"
+	"honeyfarm/internal/faults"
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/stats"
@@ -49,6 +50,12 @@ type (
 	Registry = geo.Registry
 	// Farm is a running wire-level honeyfarm.
 	Farm = farm.Farm
+	// FaultPlan is a seeded deterministic fault-injection plan; its
+	// Outages take individual honeypots down for day windows, and a
+	// FaultReport accounts what a faulted run lost.
+	FaultPlan   = faults.Plan
+	FaultOutage = faults.Outage
+	FaultReport = faults.Report
 )
 
 // Category values.
@@ -81,6 +88,11 @@ type SimulateConfig struct {
 	// Workers is the generation fan-out (default GOMAXPROCS). The
 	// dataset is byte-identical for every value; see workload.Config.
 	Workers int
+	// Faults, when non-nil and active, deterministically culls the
+	// sessions the fault plan would have lost (pot outage windows plus a
+	// connection-fault share); the Dataset's Availability table reports
+	// the per-pot losses. Same seed + same plan ⇒ byte-identical output.
+	Faults *FaultPlan
 }
 
 // Dataset is a generated or loaded session dataset with its geography,
@@ -90,7 +102,10 @@ type Dataset struct {
 	Registry    *Registry
 	Deployments []geo.Deployment
 	NumPots     int
-	tagger      analysis.Tagger
+	// Faults carries the fault plan's loss accounting when the dataset
+	// was generated under one; nil for fault-free or loaded datasets.
+	Faults *FaultReport
+	tagger analysis.Tagger
 
 	perPot []analysis.PerHoneypot // lazily computed
 	hashes []analysis.HashStat
@@ -110,6 +125,7 @@ func Simulate(cfg SimulateConfig) (*Dataset, error) {
 		Registry:      reg,
 		Epoch:         DefaultEpoch,
 		Workers:       cfg.Workers,
+		Faults:        cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -123,6 +139,7 @@ func Simulate(cfg SimulateConfig) (*Dataset, error) {
 		Registry:    reg,
 		Deployments: res.Deployments,
 		NumPots:     numPots,
+		Faults:      res.Faults,
 		tagger:      res.Tagger(),
 	}, nil
 }
@@ -138,6 +155,7 @@ func NewDatasetFromResult(res *workload.Result, reg *Registry, numPots int) *Dat
 		Registry:    reg,
 		Deployments: res.Deployments,
 		NumPots:     numPots,
+		Faults:      res.Faults,
 		tagger:      res.Tagger(),
 	}
 }
@@ -149,6 +167,14 @@ type FarmConfig struct {
 	Registry *Registry
 	// Fetch resolves attacker download URIs; nil blocks egress.
 	Fetch func(uri string) ([]byte, error)
+	// Faults injects deterministic connection faults and pot outage
+	// windows into the running farm; see farm.Config.
+	Faults *FaultPlan
+	// DayLength maps the plan's outage days to wall clock (outages are
+	// only scheduled when positive), and DrainTimeout bounds Stop's
+	// graceful drain.
+	DayLength    time.Duration
+	DrainTimeout time.Duration
 }
 
 // NewFarm builds (but does not start) a wire-level honeyfarm.
@@ -158,11 +184,14 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		reg = NewRegistry(cfg.Seed)
 	}
 	return farm.New(farm.Config{
-		Seed:     cfg.Seed,
-		NumPots:  cfg.NumPots,
-		Registry: reg,
-		Epoch:    DefaultEpoch,
-		Fetch:    cfg.Fetch,
+		Seed:         cfg.Seed,
+		NumPots:      cfg.NumPots,
+		Registry:     reg,
+		Epoch:        DefaultEpoch,
+		Fetch:        cfg.Fetch,
+		Faults:       cfg.Faults,
+		DayLength:    cfg.DayLength,
+		DrainTimeout: cfg.DrainTimeout,
 	})
 }
 
@@ -208,7 +237,7 @@ func (d *Dataset) ExportCowrie(w io.Writer) error {
 // deployment or a prior ExportCowrie) and wraps it as a Dataset, so real
 // honeypot logs run through the same analysis pipeline.
 func LoadCowrie(r io.Reader, reg *Registry, numPots int, seed int64) (*Dataset, error) {
-	st, err := cowrielog.Import(r, cowrielog.ImportOptions{})
+	st, _, err := cowrielog.Import(r, cowrielog.ImportOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -305,6 +334,18 @@ func (d *Dataset) TopCommands(n int) []analysis.Counted {
 // TopClientVersions ranks recorded SSH client identification strings.
 func (d *Dataset) TopClientVersions(n int) []analysis.Counted {
 	return analysis.TopClientVersions(d.Store, n)
+}
+
+// Availability returns the per-honeypot availability table: observed
+// sessions joined with the fault plan's downtime and drop counters (the
+// paper's per-honeypot activity view). Fault-free datasets report full
+// availability and zero drops for every pot.
+func (d *Dataset) Availability() []analysis.PotAvailability {
+	days := d.Days()
+	if d.Faults != nil && d.Faults.Days > 0 {
+		days = d.Faults.Days
+	}
+	return analysis.ComputeAvailability(d.Store, d.Faults, d.NumPots, days)
 }
 
 // PerHoneypot returns per-honeypot totals (Figures 2, 14, 18, 19),

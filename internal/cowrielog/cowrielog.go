@@ -147,12 +147,22 @@ type ImportOptions struct {
 	// Epoch sets the resulting store's day-bucket origin; zero uses the
 	// earliest event's midnight.
 	Epoch time.Time
+	// SkipMalformed switches Import to lenient mode: lines that fail to
+	// parse (broken JSON, bad timestamps) are counted and skipped instead
+	// of aborting. Real long-running Cowrie deployments produce the odd
+	// truncated line on restart; lenient mode salvages the rest of the
+	// log. Default (false) keeps the strict abort-with-line-number
+	// behavior.
+	SkipMalformed bool
 }
 
 // Import reads a Cowrie JSON event stream and reassembles session
-// records into a store. Events with unknown eventids are skipped;
-// malformed lines abort with an error that includes the line number.
-func Import(r io.Reader, opts ImportOptions) (*store.Store, error) {
+// records into a store. Events with unknown eventids are ignored (they
+// carry no session state this pipeline uses). Malformed lines abort
+// with an error naming the line number, unless opts.SkipMalformed is
+// set, in which case they are skipped and counted in the returned skip
+// total (always zero in strict mode).
+func Import(r io.Reader, opts ImportOptions) (*store.Store, int, error) {
 	type building struct {
 		rec    *honeypot.SessionRecord
 		closed bool
@@ -174,7 +184,7 @@ func Import(r io.Reader, opts ImportOptions) (*store.Store, error) {
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	lineNo := 0
+	lineNo, skipped := 0, 0
 	var earliest time.Time
 	for sc.Scan() {
 		lineNo++
@@ -184,7 +194,11 @@ func Import(r io.Reader, opts ImportOptions) (*store.Store, error) {
 		}
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("cowrielog: line %d: %w", lineNo, err)
+			if opts.SkipMalformed {
+				skipped++
+				continue
+			}
+			return nil, 0, fmt.Errorf("cowrielog: line %d: %w", lineNo, err)
 		}
 		if ev.Session == "" {
 			continue
@@ -194,7 +208,11 @@ func Import(r io.Reader, opts ImportOptions) (*store.Store, error) {
 			// Cowrie emits several sub-second precisions; retry RFC3339.
 			ts, err = time.Parse(time.RFC3339Nano, ev.Timestamp)
 			if err != nil {
-				return nil, fmt.Errorf("cowrielog: line %d: bad timestamp %q", lineNo, ev.Timestamp)
+				if opts.SkipMalformed {
+					skipped++
+					continue
+				}
+				return nil, 0, fmt.Errorf("cowrielog: line %d: bad timestamp %q", lineNo, ev.Timestamp)
 			}
 		}
 		if earliest.IsZero() || ts.Before(earliest) {
@@ -247,7 +265,7 @@ func Import(r io.Reader, opts ImportOptions) (*store.Store, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("cowrielog: reading: %w", err)
+		return nil, 0, fmt.Errorf("cowrielog: reading: %w", err)
 	}
 
 	epoch := opts.Epoch
@@ -265,5 +283,5 @@ func Import(r io.Reader, opts ImportOptions) (*store.Store, error) {
 		}
 		st.Add(b.rec)
 	}
-	return st, nil
+	return st, skipped, nil
 }

@@ -67,7 +67,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 	if err := Export(&buf, []*honeypot.SessionRecord{rec}, "hf"); err != nil {
 		t.Fatal(err)
 	}
-	st, err := Import(&buf, ImportOptions{})
+	st, _, err := Import(&buf, ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestImportRealCowrieShapedLog(t *testing.T) {
 {"eventid":"cowrie.session.closed","session":"s1","duration":12.5,"timestamp":"2022-01-05T10:00:12.000000Z"}
 {"eventid":"cowrie.direct-tcpip.request","session":"s1","timestamp":"2022-01-05T10:00:02.000000Z"}
 `
-	st, err := Import(strings.NewReader(log), ImportOptions{})
+	st, _, err := Import(strings.NewReader(log), ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,17 +127,57 @@ func TestImportRealCowrieShapedLog(t *testing.T) {
 }
 
 func TestImportErrors(t *testing.T) {
-	if _, err := Import(strings.NewReader("{broken json\n"), ImportOptions{}); err == nil {
+	if _, _, err := Import(strings.NewReader("{broken json\n"), ImportOptions{}); err == nil {
 		t.Error("broken json should fail")
 	}
 	bad := `{"eventid":"cowrie.session.connect","session":"x","timestamp":"not-a-time"}`
-	if _, err := Import(strings.NewReader(bad), ImportOptions{}); err == nil {
+	if _, _, err := Import(strings.NewReader(bad), ImportOptions{}); err == nil {
 		t.Error("bad timestamp should fail")
 	}
 	// Blank lines and session-less events are tolerated.
 	ok := "\n" + `{"eventid":"cowrie.log.open","timestamp":"2022-01-05T10:00:00.000000Z"}` + "\n"
-	if _, err := Import(strings.NewReader(ok), ImportOptions{}); err != nil {
+	if _, _, err := Import(strings.NewReader(ok), ImportOptions{}); err != nil {
 		t.Errorf("tolerable input failed: %v", err)
+	}
+}
+
+// TestImportSkipMalformed covers the lenient mode: broken lines are
+// counted and skipped, the intact sessions around them survive, and the
+// strict default still aborts on the same input.
+func TestImportSkipMalformed(t *testing.T) {
+	log := `{"eventid":"cowrie.session.connect","src_ip":"1.2.3.4","session":"s1","timestamp":"2022-01-05T10:00:00.000000Z","sensor":"pot-a"}
+{truncated json line from a cowrie restart
+{"eventid":"cowrie.login.failed","username":"admin","password":"admin","session":"s1","timestamp":"2022-01-05T10:00:01.000000Z"}
+{"eventid":"cowrie.session.connect","session":"s2","timestamp":"not-a-time","sensor":"pot-a"}
+{"eventid":"cowrie.session.closed","session":"s1","duration":5.0,"timestamp":"2022-01-05T10:00:05.000000Z"}
+`
+	st, skipped, err := Import(strings.NewReader(log), ImportOptions{SkipMalformed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (one broken JSON, one bad timestamp)", skipped)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("records = %d, want the intact s1 session", st.Len())
+	}
+	r := st.Records()[0]
+	if r.ClientIP != "1.2.3.4" || len(r.Logins) != 1 || r.Duration() != 5*time.Second {
+		t.Errorf("surviving session mangled: %+v", r)
+	}
+
+	// The same log must abort in strict mode, naming the broken line.
+	if _, _, err := Import(strings.NewReader(log), ImportOptions{}); err == nil {
+		t.Error("strict mode accepted malformed input")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("strict error does not name the broken line: %v", err)
+	}
+
+	// A clean log reports zero skips in lenient mode.
+	clean := `{"eventid":"cowrie.session.connect","session":"s1","timestamp":"2022-01-05T10:00:00.000000Z"}
+`
+	if _, skipped, err := Import(strings.NewReader(clean), ImportOptions{SkipMalformed: true}); err != nil || skipped != 0 {
+		t.Errorf("clean log: skipped = %d, err = %v; want 0, nil", skipped, err)
 	}
 }
 
@@ -146,7 +186,7 @@ func TestSensorIDMapping(t *testing.T) {
 {"eventid":"cowrie.session.connect","src_ip":"2.2.2.2","session":"b","timestamp":"2022-01-05T11:00:00.000000Z","sensor":"west"}
 {"eventid":"cowrie.session.connect","src_ip":"3.3.3.3","session":"c","timestamp":"2022-01-05T12:00:00.000000Z","sensor":"east"}
 `
-	st, err := Import(strings.NewReader(log), ImportOptions{})
+	st, _, err := Import(strings.NewReader(log), ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +198,7 @@ func TestSensorIDMapping(t *testing.T) {
 		t.Error("different sensors should map to different ids")
 	}
 	// Custom mapping.
-	st2, err := Import(strings.NewReader(log), ImportOptions{
+	st2, _, err := Import(strings.NewReader(log), ImportOptions{
 		SensorID: func(sensor string) int {
 			if sensor == "east" {
 				return 100
@@ -190,7 +230,7 @@ func TestGeneratedDatasetSurvivesCowrieRoundTrip(t *testing.T) {
 	if err := Export(&buf, res.Store.Records(), "hp"); err != nil {
 		t.Fatal(err)
 	}
-	imported, err := Import(&buf, ImportOptions{
+	imported, _, err := Import(&buf, ImportOptions{
 		Epoch:    res.Store.Epoch(),
 		SensorID: sensorIndex,
 	})

@@ -5,20 +5,32 @@
 // and funnels every completed session record into the central collector
 // store. The cmd/honeypot tool runs the same honeypot code over real TCP
 // for a single deployment.
+//
+// The farm also owns the operational-failure machinery: an optional
+// faults.Plan injects connection faults at the fabric and schedules pot
+// outage windows, a supervisor restarts downed pots with capped
+// exponential backoff, and Stop drains bounded — lingering connections
+// are force-closed after Config.DrainTimeout so a stalled session can
+// never wedge shutdown.
 package farm
 
 import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"honeyfarm/internal/faults"
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/netsim"
 	"honeyfarm/internal/shell"
 	"honeyfarm/internal/store"
 )
+
+// DefaultDrainTimeout bounds Stop's graceful drain.
+const DefaultDrainTimeout = 5 * time.Second
 
 // Config configures a honeyfarm.
 type Config struct {
@@ -35,6 +47,9 @@ type Config struct {
 	Epoch time.Time
 	// Fetch resolves download URIs for all honeypots.
 	Fetch shell.FetchFunc
+	// FetchRetries, when positive, wraps Fetch with that many total
+	// attempts of deterministic retry (shell.RetryFetch, seeded by Seed).
+	FetchRetries int
 	// PreAuthTimeout/PostAuthTimeout override the honeypots' timeouts
 	// (useful to compress wire-level experiments).
 	PreAuthTimeout  time.Duration
@@ -43,6 +58,41 @@ type Config struct {
 	Now func() time.Time
 	// Latency is the fabric's connection-establishment latency.
 	Latency time.Duration
+	// Faults, when non-nil and active, injects connection faults at the
+	// fabric and schedules pot outage windows.
+	Faults *faults.Plan
+	// DayLength maps the fault plan's outage days to wall-clock time;
+	// outage windows are only scheduled when it is positive.
+	DayLength time.Duration
+	// DrainTimeout bounds Stop's graceful drain; zero selects
+	// DefaultDrainTimeout, negative forces immediate teardown.
+	DrainTimeout time.Duration
+}
+
+// Stats is a snapshot of the farm's operational counters.
+type Stats struct {
+	// Kills counts pot takedowns (outage windows and Kill calls).
+	Kills int
+	// Restarts counts successful supervisor rebinds.
+	Restarts int
+	// ConnFaults counts dials the fault plan refused, reset, or stalled.
+	ConnFaults int
+	// DroppedRecords counts session records discarded because their pot
+	// was down or shutdown had passed the drain deadline.
+	DroppedRecords int
+}
+
+// potState is the supervisor's view of one honeypot.
+type potState struct {
+	up        bool
+	gen       int // bumped on every takedown; stale restart requests are dropped
+	holdUntil time.Time
+	listeners []*netsim.Listener
+}
+
+type restartReq struct {
+	pot int
+	gen int
 }
 
 // Farm is a running honeyfarm.
@@ -53,10 +103,20 @@ type Farm struct {
 	pots        []*honeypot.Honeypot
 	collector   *store.Store
 
-	mu        sync.Mutex
-	listeners []*netsim.Listener
+	mu      sync.Mutex
+	states  []potState
+	started bool
+	stopped bool
+	forced  bool // drain deadline passed; further records are dropped
+	stats   Stats
+
+	connMu sync.Mutex
+	conns  map[net.Conn]int // live connection -> pot index
+
+	stopCh    chan struct{}
+	restartCh chan restartReq
+	connSeq   atomic.Uint64
 	wg        sync.WaitGroup
-	started   bool
 }
 
 // New builds the farm: placement, honeypots, collector. Call Start to
@@ -64,6 +124,9 @@ type Farm struct {
 func New(cfg Config) (*Farm, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("farm: Config.Registry is required")
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("farm: %w", err)
 	}
 	if cfg.NumPots == 0 {
 		cfg.NumPots = 221
@@ -82,6 +145,12 @@ func New(cfg Config) (*Farm, error) {
 	if cfg.Epoch.IsZero() {
 		cfg.Epoch = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
 	}
+	if cfg.Fetch != nil && cfg.FetchRetries > 0 {
+		cfg.Fetch = shell.RetryFetch(cfg.Fetch, shell.RetryFetchOptions{
+			Attempts: cfg.FetchRetries,
+			Seed:     cfg.Seed,
+		})
+	}
 	deployments, err := geo.Place(geo.PlacementConfig{
 		Seed:       cfg.Seed,
 		NumPots:    cfg.NumPots,
@@ -98,15 +167,19 @@ func New(cfg Config) (*Farm, error) {
 		fabric:      netsim.NewFabric(cfg.Latency),
 		deployments: deployments,
 		collector:   store.New(cfg.Epoch),
+		states:      make([]potState, len(deployments)),
+		conns:       make(map[net.Conn]int),
+		stopCh:      make(chan struct{}),
+		restartCh:   make(chan restartReq, 2*len(deployments)+8),
 	}
-	for _, d := range deployments {
+	for i, d := range deployments {
 		pot, err := honeypot.New(honeypot.Config{
 			ID:              d.ID,
 			Fetch:           cfg.Fetch,
 			PreAuthTimeout:  cfg.PreAuthTimeout,
 			PostAuthTimeout: cfg.PostAuthTimeout,
 			Now:             cfg.Now,
-			Sink:            f.collector.Add,
+			Sink:            f.sinkFor(i),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("farm: honeypot %d: %w", d.ID, err)
@@ -114,6 +187,26 @@ func New(cfg Config) (*Farm, error) {
 		f.pots = append(f.pots, pot)
 	}
 	return f, nil
+}
+
+// sinkFor wraps the collector for pot i: records are counted and
+// dropped — never blocked on — when the pot is down or the drain
+// deadline has passed.
+func (f *Farm) sinkFor(i int) func(*honeypot.SessionRecord) {
+	return func(rec *honeypot.SessionRecord) {
+		f.mu.Lock()
+		// A pot-down drop only applies while the farm is running: during
+		// a farm-wide Stop all pots are down but sessions finishing
+		// inside the drain window still count.
+		drop := f.forced || (!f.stopped && !f.states[i].up)
+		if drop {
+			f.stats.DroppedRecords++
+		}
+		f.mu.Unlock()
+		if !drop {
+			f.collector.Add(rec)
+		}
+	}
 }
 
 // Deployments returns the farm's placement table.
@@ -128,6 +221,20 @@ func (f *Farm) Fabric() *netsim.Fabric { return f.fabric }
 // Honeypot returns honeypot i.
 func (f *Farm) Honeypot(i int) *honeypot.Honeypot { return f.pots[i] }
 
+// Stats returns a snapshot of the operational counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// PotUp reports whether honeypot i currently has bound listeners.
+func (f *Farm) PotUp(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.states[i].up
+}
+
 // SSHAddr returns honeypot i's SSH endpoint on the fabric.
 func (f *Farm) SSHAddr(i int) netsim.Addr {
 	return netsim.Addr{IP: geo.Uint32ToAddr(f.deployments[i].IP).String(), Port: 22}
@@ -138,35 +245,80 @@ func (f *Farm) TelnetAddr(i int) netsim.Addr {
 	return netsim.Addr{IP: geo.Uint32ToAddr(f.deployments[i].IP).String(), Port: 23}
 }
 
-// Start binds every honeypot's SSH and Telnet ports and begins serving.
+// Start binds every honeypot's SSH and Telnet ports, begins serving,
+// and launches the supervisor plus any planned outage windows.
 func (f *Farm) Start() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.started {
 		return fmt.Errorf("farm: already started")
 	}
-	for i, d := range f.deployments {
-		ip := geo.Uint32ToAddr(d.IP).String()
-		sshL, err := f.fabric.Listen(ip, 22)
-		if err != nil {
-			f.stopLocked()
-			return fmt.Errorf("farm: honeypot %d ssh listen: %w", d.ID, err)
+	if f.stopped {
+		return fmt.Errorf("farm: already stopped")
+	}
+	for i := range f.deployments {
+		if err := f.bindLocked(i); err != nil {
+			f.takedownAllLocked()
+			return err
 		}
-		telL, err := f.fabric.Listen(ip, 23)
-		if err != nil {
-			f.stopLocked()
-			return fmt.Errorf("farm: honeypot %d telnet listen: %w", d.ID, err)
-		}
-		f.listeners = append(f.listeners, sshL, telL)
-		pot := f.pots[i]
-		f.serve(sshL, pot.ServeSSH)
-		f.serve(telL, pot.ServeTelnet)
+	}
+	if f.cfg.Faults.ConnActive() {
+		f.installFaultHook()
+	}
+	f.wg.Add(1)
+	go f.supervise()
+	if f.cfg.Faults != nil && f.cfg.DayLength > 0 {
+		f.scheduleOutages()
 	}
 	f.started = true
 	return nil
 }
 
-func (f *Farm) serve(l *netsim.Listener, handle func(net.Conn)) {
+// bindLocked binds pot i's SSH and Telnet listeners and starts their
+// accept loops. Caller holds f.mu.
+func (f *Farm) bindLocked(i int) error {
+	d := f.deployments[i]
+	ip := geo.Uint32ToAddr(d.IP).String()
+	sshL, err := f.fabric.Listen(ip, 22)
+	if err != nil {
+		return fmt.Errorf("farm: honeypot %d ssh listen: %w", d.ID, err)
+	}
+	telL, err := f.fabric.Listen(ip, 23)
+	if err != nil {
+		_ = sshL.Close()
+		return fmt.Errorf("farm: honeypot %d telnet listen: %w", d.ID, err)
+	}
+	st := &f.states[i]
+	st.up = true
+	st.listeners = []*netsim.Listener{sshL, telL}
+	pot := f.pots[i]
+	f.serve(sshL, i, pot.ServeSSH)
+	f.serve(telL, i, pot.ServeTelnet)
+	return nil
+}
+
+// installFaultHook points the fabric at the plan's deterministic
+// connection-fault stream and counts injected faults.
+func (f *Farm) installFaultHook() {
+	plan := f.cfg.Faults
+	f.fabric.SetFaultHook(func(src string, dst netsim.Addr) netsim.ConnFault {
+		seq := f.connSeq.Add(1) - 1
+		d := plan.ConnFault(seq)
+		if d.Refuse || d.ResetAfter > 0 || d.Stall {
+			f.mu.Lock()
+			f.stats.ConnFaults++
+			f.mu.Unlock()
+		}
+		return netsim.ConnFault{
+			Refuse:     d.Refuse,
+			ResetAfter: d.ResetAfter,
+			Stall:      d.Stall,
+			Jitter:     d.Jitter,
+		}
+	})
+}
+
+func (f *Farm) serve(l *netsim.Listener, pot int, handle func(net.Conn)) {
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
@@ -175,27 +327,189 @@ func (f *Farm) serve(l *netsim.Listener, handle func(net.Conn)) {
 			if err != nil {
 				return
 			}
+			f.connMu.Lock()
+			f.conns[c] = pot
+			f.connMu.Unlock()
 			f.wg.Add(1)
 			go func() {
 				defer f.wg.Done()
 				handle(c)
+				f.connMu.Lock()
+				delete(f.conns, c)
+				f.connMu.Unlock()
 			}()
 		}
 	}()
 }
 
-// Stop closes all listeners and waits for in-flight sessions.
-func (f *Farm) Stop() {
-	f.mu.Lock()
-	f.stopLocked()
-	f.started = false
-	f.mu.Unlock()
-	f.wg.Wait()
+// supervise restarts downed pots. Each takedown enqueues a restart
+// request; the supervisor hands it to a backoff loop that re-binds the
+// pot's listeners once any outage hold expires.
+func (f *Farm) supervise() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case req := <-f.restartCh:
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				f.restartLoop(req)
+			}()
+		}
+	}
 }
 
-func (f *Farm) stopLocked() {
-	for _, l := range f.listeners {
-		l.Close()
+// restartLoop waits out the backoff (and any outage hold) then re-binds
+// pot req.pot. A bind conflict retries with the next backoff step.
+func (f *Farm) restartLoop(req restartReq) {
+	for attempt := 0; ; attempt++ {
+		delay := f.cfg.Faults.Backoff(req.pot, attempt)
+		f.mu.Lock()
+		if hold := time.Until(f.states[req.pot].holdUntil); hold > delay {
+			delay = hold
+		}
+		f.mu.Unlock()
+		select {
+		case <-f.stopCh:
+			return
+		case <-time.After(delay):
+		}
+		f.mu.Lock()
+		st := &f.states[req.pot]
+		if f.stopped || st.up || st.gen != req.gen {
+			// Superseded: farm stopping, already restarted, or a newer
+			// takedown owns this pot now.
+			f.mu.Unlock()
+			return
+		}
+		err := f.bindLocked(req.pot)
+		if err == nil {
+			f.stats.Restarts++
+		}
+		f.mu.Unlock()
+		if err == nil {
+			return
+		}
 	}
-	f.listeners = nil
+}
+
+// Kill takes honeypot i down as if it crashed: listeners unbind, its
+// in-flight connections are severed, and the supervisor restarts it
+// after backoff. No-op when the pot is already down or the farm is
+// stopping.
+func (f *Farm) Kill(i int) { f.killUntil(i, time.Time{}) }
+
+func (f *Farm) killUntil(i int, hold time.Time) {
+	f.mu.Lock()
+	st := &f.states[i]
+	if f.stopped || !st.up {
+		f.mu.Unlock()
+		return
+	}
+	st.up = false
+	st.gen++
+	st.holdUntil = hold
+	ls := st.listeners
+	st.listeners = nil
+	gen := st.gen
+	f.stats.Kills++
+	f.mu.Unlock()
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	f.connMu.Lock()
+	for c, pot := range f.conns {
+		if pot == i {
+			_ = c.Close()
+		}
+	}
+	f.connMu.Unlock()
+	select {
+	case f.restartCh <- restartReq{pot: i, gen: gen}:
+	case <-f.stopCh:
+	}
+}
+
+// scheduleOutages arms one timer goroutine per planned outage window,
+// mapping plan days to wall-clock via Config.DayLength. Caller holds
+// f.mu (during Start).
+func (f *Farm) scheduleOutages() {
+	dl := f.cfg.DayLength
+	for _, o := range f.cfg.Faults.Outages {
+		if o.Pot < 0 || o.Pot >= len(f.pots) {
+			continue
+		}
+		o := o
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			select {
+			case <-f.stopCh:
+				return
+			case <-time.After(time.Duration(o.FirstDay) * dl):
+			}
+			f.killUntil(o.Pot, time.Now().Add(time.Duration(o.Days())*dl))
+		}()
+	}
+}
+
+// Stop unbinds all listeners and drains in-flight sessions, bounded by
+// Config.DrainTimeout: connections still alive at the deadline are
+// force-closed, and records they emit afterwards are counted as dropped
+// rather than collected. Stop is idempotent and always returns with the
+// farm's goroutines joined.
+func (f *Farm) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.stopped = true
+	f.started = false
+	close(f.stopCh)
+	f.takedownAllLocked()
+	drain := f.cfg.DrainTimeout
+	if drain == 0 {
+		drain = DefaultDrainTimeout
+	}
+	f.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(done)
+	}()
+	if drain > 0 {
+		select {
+		case <-done:
+			return
+		case <-time.After(drain):
+		}
+	}
+	// Deadline passed (or immediate teardown requested): sever every
+	// lingering connection and drop whatever records still trickle in.
+	f.mu.Lock()
+	f.forced = true
+	f.mu.Unlock()
+	f.connMu.Lock()
+	for c := range f.conns {
+		_ = c.Close()
+	}
+	f.connMu.Unlock()
+	<-done
+}
+
+// takedownAllLocked closes every bound listener. Caller holds f.mu.
+func (f *Farm) takedownAllLocked() {
+	for i := range f.states {
+		st := &f.states[i]
+		st.up = false
+		for _, l := range st.listeners {
+			_ = l.Close()
+		}
+		st.listeners = nil
+	}
 }

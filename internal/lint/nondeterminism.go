@@ -16,6 +16,7 @@ import (
 var DeterministicPkgSuffixes = []string{
 	"honeyfarm", // module root: Simulate and the artifact pipeline
 	"internal/analysis",
+	"internal/faults",
 	"internal/geo",
 	"internal/malware",
 	"internal/report",

@@ -22,7 +22,28 @@ var (
 	ErrConnectionRefused = errors.New("netsim: connection refused")
 	ErrClosed            = errors.New("netsim: use of closed connection")
 	ErrTimeout           = errors.New("netsim: i/o timeout")
+	ErrReset             = errors.New("netsim: connection reset by peer")
 )
+
+// ConnFault describes the faults to inject into one dialed connection.
+// The zero value is a healthy connection.
+type ConnFault struct {
+	// Refuse fails the dial with ErrConnectionRefused.
+	Refuse bool
+	// ResetAfter, when positive, tears the connection down with ErrReset
+	// on both sides once that many payload bytes have been written.
+	ResetAfter int
+	// Stall blackholes the connection: writes succeed but no data is
+	// ever delivered, so readers block until their deadline or Close.
+	Stall bool
+	// Jitter adds to the fabric's base connection-establishment latency.
+	Jitter time.Duration
+}
+
+// FaultHook decides the fault treatment for each dial. It runs on the
+// dialing goroutine before the connection is created and must be safe
+// for concurrent use.
+type FaultHook func(src string, dst Addr) ConnFault
 
 // Addr is a network address inside the fabric.
 type Addr struct {
@@ -43,6 +64,7 @@ type Fabric struct {
 	listeners map[Addr]*Listener
 	latency   time.Duration
 	nextPort  int
+	faultHook FaultHook
 }
 
 // NewFabric creates an empty fabric. latency, when positive, delays
@@ -57,6 +79,14 @@ func NewFabric(latency time.Duration) *Fabric {
 	}
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault hook applied
+// to subsequent dials.
+func (f *Fabric) SetFaultHook(h FaultHook) {
+	f.mu.Lock()
+	f.faultHook = h
+	f.mu.Unlock()
+}
+
 // Listener accepts fabric connections on one address.
 type Listener struct {
 	fabric *Fabric
@@ -64,6 +94,8 @@ type Listener struct {
 	queue  chan *Conn
 	done   chan struct{}
 	once   sync.Once
+	qmu    sync.Mutex
+	closed bool
 }
 
 // Listen binds an address. Port 0 is not supported; honeypots bind 22/23.
@@ -94,13 +126,25 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 }
 
-// Close unbinds the listener.
+// Close unbinds the listener. Connections still sitting in the accept
+// queue are closed so their clients see EOF instead of dead air.
 func (l *Listener) Close() error {
 	l.once.Do(func() {
 		l.fabric.mu.Lock()
 		delete(l.fabric.listeners, l.addr)
 		l.fabric.mu.Unlock()
+		l.qmu.Lock()
+		l.closed = true
+		l.qmu.Unlock()
 		close(l.done)
+		for {
+			select {
+			case c := <-l.queue:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }
@@ -109,13 +153,12 @@ func (l *Listener) Close() error {
 func (l *Listener) Addr() net.Addr { return l.addr }
 
 // Dial connects from srcIP to dst. It performs the fabric's configured
-// latency delay and fails with ErrConnectionRefused when nothing listens
-// on dst.
+// latency delay (plus any fault-hook jitter) and fails with
+// ErrConnectionRefused when nothing listens on dst or the fault hook
+// refuses the connection.
 func (f *Fabric) Dial(srcIP string, dst Addr) (net.Conn, error) {
-	if f.latency > 0 {
-		time.Sleep(f.latency)
-	}
 	f.mu.Lock()
+	hook := f.faultHook
 	l, ok := f.listeners[dst]
 	src := Addr{IP: srcIP, Port: f.nextPort}
 	f.nextPort++
@@ -123,27 +166,79 @@ func (f *Fabric) Dial(srcIP string, dst Addr) (net.Conn, error) {
 		f.nextPort = 40000
 	}
 	f.mu.Unlock()
-	if !ok {
+	var fd ConnFault
+	if hook != nil {
+		fd = hook(srcIP, dst)
+	}
+	if delay := f.latency + fd.Jitter; delay > 0 {
+		time.Sleep(delay)
+	}
+	if fd.Refuse || !ok {
 		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, dst)
 	}
 	clientSide, serverSide := newConnPair(src, dst)
+	applyFault(clientSide, serverSide, fd)
+	l.qmu.Lock()
+	if l.closed {
+		l.qmu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, dst)
+	}
 	select {
 	case l.queue <- serverSide:
+		l.qmu.Unlock()
 		return clientSide, nil
-	case <-l.done:
-		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, dst)
 	default:
+		l.qmu.Unlock()
 		// Accept queue overflow models a SYN backlog drop.
 		return nil, fmt.Errorf("%w: %s (backlog full)", ErrConnectionRefused, dst)
 	}
 }
 
+// applyFault wires reset budgets and stall blackholes into a fresh
+// connection pair, before either side is shared with another goroutine.
+func applyFault(client, server *Conn, fd ConnFault) {
+	if fd.Stall {
+		client.readHalf.blackhole = true
+		client.writeHalf.blackhole = true
+	}
+	if fd.ResetAfter > 0 {
+		shared := &connFault{budget: fd.ResetAfter}
+		client.fault = shared
+		server.fault = shared
+	}
+}
+
+// connFault tracks the shared reset byte budget of a connection pair.
+type connFault struct {
+	mu     sync.Mutex
+	budget int
+}
+
+// consume debits n bytes and reports how many may still be written and
+// whether the budget just tripped.
+func (cf *connFault) consume(n int) (allowed int, tripped bool) {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.budget <= 0 {
+		return 0, true
+	}
+	if n >= cf.budget {
+		allowed = cf.budget
+		cf.budget = 0
+		return allowed, true
+	}
+	cf.budget -= n
+	return n, false
+}
+
 // pipeHalf is one direction's buffered byte stream.
 type pipeHalf struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte
-	closed bool // write side closed
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []byte
+	closed    bool // write side closed
+	reset     bool // torn down by an injected reset
+	blackhole bool // stall fault: accept writes, deliver nothing
 }
 
 func newPipeHalf() *pipeHalf {
@@ -155,8 +250,14 @@ func newPipeHalf() *pipeHalf {
 func (h *pipeHalf) write(p []byte) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.reset {
+		return 0, ErrReset
+	}
 	if h.closed {
 		return 0, ErrClosed
+	}
+	if h.blackhole {
+		return len(p), nil
 	}
 	h.buf = append(h.buf, p...)
 	h.cond.Broadcast()
@@ -167,6 +268,9 @@ func (h *pipeHalf) read(p []byte, deadline *deadline) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for len(h.buf) == 0 {
+		if h.reset {
+			return 0, ErrReset
+		}
 		if h.closed {
 			return 0, errEOF
 		}
@@ -185,6 +289,17 @@ func (h *pipeHalf) read(p []byte, deadline *deadline) (int, error) {
 func (h *pipeHalf) close() {
 	h.mu.Lock()
 	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// closeReset tears the half down like a TCP RST: buffered data is
+// discarded and both readers and writers observe ErrReset.
+func (h *pipeHalf) closeReset() {
+	h.mu.Lock()
+	h.closed = true
+	h.reset = true
+	h.buf = nil
 	h.cond.Broadcast()
 	h.mu.Unlock()
 }
@@ -230,6 +345,7 @@ type Conn struct {
 	remote    Addr
 	readDL    deadline
 	closeOnce sync.Once
+	fault     *connFault // shared reset budget, nil when healthy
 }
 
 func newConnPair(clientAddr, serverAddr Addr) (client, server *Conn) {
@@ -252,8 +368,22 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write implements net.Conn.
-func (c *Conn) Write(p []byte) (int, error) { return c.writeHalf.write(p) }
+// Write implements net.Conn. When a reset budget is attached and this
+// write exhausts it, the allowed prefix is delivered and the connection
+// is torn down with ErrReset on both sides.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.fault != nil {
+		allowed, tripped := c.fault.consume(len(p))
+		if tripped {
+			// Like a TCP RST, data not yet read is discarded — the
+			// accepted prefix is counted but never delivered.
+			c.writeHalf.closeReset()
+			c.readHalf.closeReset()
+			return allowed, ErrReset
+		}
+	}
+	return c.writeHalf.write(p)
+}
 
 // Close implements net.Conn: both directions are torn down.
 func (c *Conn) Close() error {

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/faults"
 	"honeyfarm/internal/workload"
 )
 
@@ -34,6 +35,10 @@ type Scenario struct {
 	// when custom spikes are given (default: custom spikes replace the
 	// schedule entirely).
 	DisableCampaigns bool `json:"disable_campaigns,omitempty"`
+	// Faults is an optional deterministic fault plan (connection fault
+	// rates plus pot outage windows); see faults.Plan for the schema.
+	// The plan's zero seed inherits the scenario seed.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // Spike is the JSON form of a workload spike.
@@ -83,6 +88,16 @@ func (sc Scenario) Config() (workload.Config, error) {
 		NumPots:          sc.Pots,
 		DisableCampaigns: sc.DisableCampaigns,
 		Workers:          sc.Workers,
+	}
+	if sc.Faults != nil {
+		plan := *sc.Faults
+		if plan.Seed == 0 {
+			plan.Seed = sc.Seed
+		}
+		if err := plan.Validate(); err != nil {
+			return cfg, fmt.Errorf("scenario: %w", err)
+		}
+		cfg.Faults = &plan
 	}
 	if len(sc.CategoryShares) > 0 {
 		shares, err := shareArray(sc.CategoryShares, true)

@@ -1,0 +1,80 @@
+package shell
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// RetryFetchOptions tunes RetryFetch. The zero value retries twice
+// (three attempts total) with a 50ms base and 2s cap.
+type RetryFetchOptions struct {
+	// Attempts is the total number of tries, including the first.
+	Attempts int
+	// Seed drives the deterministic backoff jitter stream.
+	Seed int64
+	// Base and Max bound the exponential backoff between attempts.
+	Base time.Duration
+	Max  time.Duration
+	// Sleep is called to wait between attempts; nil means time.Sleep.
+	// Tests inject a recorder here.
+	Sleep func(time.Duration)
+}
+
+// RetryFetch wraps a FetchFunc with bounded, deterministic retries so a
+// transiently failing download does not lose the session's CMD+URI
+// hash. The backoff for attempt k is min(Base<<k, Max) jittered into
+// [d/2, d) by a splitmix64 stream keyed on (Seed, URI, attempt) — the
+// same wait sequence every run, per the repo's determinism contract.
+func RetryFetch(inner FetchFunc, opts RetryFetchOptions) FetchFunc {
+	if inner == nil {
+		return nil
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = 3
+	}
+	if opts.Base <= 0 {
+		opts.Base = 50 * time.Millisecond
+	}
+	if opts.Max <= 0 {
+		opts.Max = 2 * time.Second
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return func(uri string) ([]byte, error) {
+		var lastErr error
+		for attempt := 0; attempt < opts.Attempts; attempt++ {
+			if attempt > 0 {
+				sleep(retryDelay(opts, uri, attempt-1))
+			}
+			b, err := inner(uri)
+			if err == nil {
+				return b, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	}
+}
+
+// retryDelay computes the jittered backoff after failed attempt k.
+func retryDelay(opts RetryFetchOptions, uri string, k int) time.Duration {
+	d := opts.Base
+	for i := 0; i < k && d < opts.Max; i++ {
+		d *= 2
+	}
+	if d > opts.Max {
+		d = opts.Max
+	}
+	h := fnv.New64a()
+	//lint:ignore error-discard hash.Hash.Write is documented to never fail
+	_, _ = h.Write([]byte(uri))
+	z := h.Sum64() ^ uint64(opts.Seed) ^ (uint64(k+1) * 0x9e3779b97f4a7c15)
+	// splitmix64 finalizer.
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	unit := float64(z>>11) / (1 << 53)
+	return d/2 + time.Duration(float64(d/2)*unit)
+}

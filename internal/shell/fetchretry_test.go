@@ -1,0 +1,96 @@
+package shell
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryFetchSucceedsAfterTransientFaults(t *testing.T) {
+	calls := 0
+	inner := func(uri string) ([]byte, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("transient")
+		}
+		return []byte("payload:" + uri), nil
+	}
+	var waits []time.Duration
+	fetch := RetryFetch(inner, RetryFetchOptions{
+		Attempts: 4,
+		Seed:     7,
+		Sleep:    func(d time.Duration) { waits = append(waits, d) },
+	})
+	b, err := fetch("http://evil/bin.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "payload:http://evil/bin.sh" {
+		t.Errorf("payload = %q", b)
+	}
+	if calls != 3 {
+		t.Errorf("inner called %d times, want 3", calls)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("slept %d times, want 2", len(waits))
+	}
+	// Exponential envelope with [d/2, d) jitter.
+	if waits[0] < 25*time.Millisecond || waits[0] >= 50*time.Millisecond {
+		t.Errorf("first backoff %v outside [25ms, 50ms)", waits[0])
+	}
+	if waits[1] < 50*time.Millisecond || waits[1] >= 100*time.Millisecond {
+		t.Errorf("second backoff %v outside [50ms, 100ms)", waits[1])
+	}
+}
+
+func TestRetryFetchGivesUp(t *testing.T) {
+	wantErr := errors.New("permanent")
+	calls := 0
+	fetch := RetryFetch(func(string) ([]byte, error) {
+		calls++
+		return nil, wantErr
+	}, RetryFetchOptions{Attempts: 3, Sleep: func(time.Duration) {}})
+	if _, err := fetch("http://gone"); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+	if calls != 3 {
+		t.Errorf("inner called %d times, want 3", calls)
+	}
+}
+
+func TestRetryFetchNoRetryOnSuccess(t *testing.T) {
+	calls := 0
+	fetch := RetryFetch(func(string) ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	}, RetryFetchOptions{Sleep: func(time.Duration) { t.Error("slept on success") }})
+	if _, err := fetch("x"); err != nil || calls != 1 {
+		t.Errorf("calls = %d, err = %v", calls, err)
+	}
+}
+
+func TestRetryFetchDeterministicBackoff(t *testing.T) {
+	opts := RetryFetchOptions{Attempts: 5, Seed: 42, Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	a := retryDelay(opts, "http://a", 2)
+	if b := retryDelay(opts, "http://a", 2); a != b {
+		t.Error("same (seed, uri, attempt) gave different delays")
+	}
+	if b := retryDelay(opts, "http://b", 2); a == b {
+		t.Error("different URIs gave identical jitter (suspicious)")
+	}
+	opts.Seed = 43
+	if b := retryDelay(opts, "http://a", 2); a == b {
+		t.Error("different seeds gave identical jitter (suspicious)")
+	}
+	// Cap respected far past the doubling range.
+	opts.Base, opts.Max = 50*time.Millisecond, 200*time.Millisecond
+	if d := retryDelay(opts, "http://a", 20); d >= 200*time.Millisecond {
+		t.Errorf("capped delay = %v, want < 200ms", d)
+	}
+}
+
+func TestRetryFetchNilInner(t *testing.T) {
+	if RetryFetch(nil, RetryFetchOptions{}) != nil {
+		t.Error("nil inner should stay nil (honeypot treats nil Fetch as disabled)")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/faults"
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/malware"
@@ -87,6 +88,13 @@ type Config struct {
 	// SSHShares overrides the per-category SSH fraction; nil keeps the
 	// paper's calibration.
 	SSHShares *[analysis.NumCategories]float64
+	// Faults, when non-nil and active, culls sessions the fault plan
+	// would have lost: sessions on a pot inside an outage window, plus a
+	// DropsSession share modeling refused/reset/stalled connections. The
+	// cull draws only from the plan's own splitmix64 streams — never from
+	// the planning RNG — so the surviving records are byte-identical to
+	// the corresponding subset of the fault-free dataset.
+	Faults *faults.Plan
 }
 
 // Result is a generated dataset plus its provenance.
@@ -97,6 +105,9 @@ type Result struct {
 	Tags map[string]string
 	// Deployments echoes placement for downstream analyses.
 	Deployments []geo.Deployment
+	// Faults reports per-pot downtime and drop counters when Config.Faults
+	// was active; nil otherwise.
+	Faults *faults.Report
 }
 
 // Tagger returns the hash tagger for this dataset.
@@ -196,6 +207,9 @@ func Generate(cfg Config) (*Result, error) {
 func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("workload: Config.Registry is required")
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
 	}
 	if cfg.TotalSessions <= 0 {
 		cfg.TotalSessions = 400_000
@@ -301,12 +315,42 @@ func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 		g.planCampaign(c)
 	}
 
+	dropped, report := g.cull()
+
 	return &Result{
-		Store:       g.decorate(),
+		Store:       g.decorate(dropped),
 		Actors:      g.pop.actors,
 		Tags:        g.tags,
 		Deployments: deployments,
+		Faults:      report,
 	}, nil
+}
+
+// cull marks the planned sessions the fault plan loses: everything
+// aimed at a pot inside an outage window, plus the DropsSession share
+// standing in for refused/reset/stalled connections. The decision for
+// plan index i depends only on (plan seed, i) and the outage table —
+// the planning RNG is never consulted — so culling changes which
+// records exist but never the bytes of the survivors.
+func (g *generator) cull() ([]bool, *faults.Report) {
+	plan := g.cfg.Faults
+	if !plan.Active() {
+		return nil, nil
+	}
+	report := faults.NewReport(plan, g.cfg.NumPots, g.cfg.Days)
+	dropped := make([]bool, len(g.plan))
+	for i := range g.plan {
+		p := &g.plan[i]
+		switch {
+		case plan.PotDown(p.pot, p.day):
+			dropped[i] = true
+			report.AddDowntimeDrop(p.pot)
+		case plan.DropsSession(uint64(i)):
+			dropped[i] = true
+			report.AddConnDrop(p.pot)
+		}
+	}
+	return dropped, report
 }
 
 // countriesFor keeps the default 55-country list when the farm is big
@@ -537,7 +581,7 @@ func shardSeed(seed int64, shard int) int64 {
 // from an atomic counter and write into per-shard builder buffers;
 // Seal's index-order merge restores the plan order regardless of which
 // worker finished when.
-func (g *generator) decorate() *store.Store {
+func (g *generator) decorate(dropped []bool) *store.Store {
 	nShards := (len(g.plan) + decorateShardSize - 1) / decorateShardSize
 	b := store.NewBuilder(g.cfg.Epoch, nShards)
 	workers := g.cfg.Workers
@@ -554,7 +598,7 @@ func (g *generator) decorate() *store.Store {
 		go func() {
 			defer wg.Done()
 			for shard := int(next.Add(1)) - 1; shard < nShards; shard = int(next.Add(1)) - 1 {
-				g.decorateShard(b, shard)
+				g.decorateShard(b, shard, dropped)
 			}
 		}()
 	}
@@ -564,14 +608,20 @@ func (g *generator) decorate() *store.Store {
 
 // decorateShard fills builder shard i from its derived rand stream.
 // Record IDs are the 1-based plan indexes, assigned here so they are
-// stable under any worker count.
-func (g *generator) decorateShard(b *store.Builder, shard int) {
+// stable under any worker count. Culled entries still consume their
+// plan index (leaving an ID gap) but are decorated and discarded rather
+// than skipped, keeping the shard's rand stream — and therefore every
+// surviving record — byte-identical to the fault-free run.
+func (g *generator) decorateShard(b *store.Builder, shard int, dropped []bool) {
 	rng := rand.New(rand.NewSource(shardSeed(g.cfg.Seed, shard)))
 	lo := shard * decorateShardSize
 	hi := min(lo+decorateShardSize, len(g.plan))
-	recs := make([]*honeypot.SessionRecord, hi-lo)
+	recs := make([]*honeypot.SessionRecord, 0, hi-lo)
 	for i := lo; i < hi; i++ {
-		recs[i-lo] = g.decorateOne(rng, &g.plan[i], uint64(i)+1)
+		rec := g.decorateOne(rng, &g.plan[i], uint64(i)+1)
+		if dropped == nil || !dropped[i] {
+			recs = append(recs, rec)
+		}
 	}
 	b.SetShard(shard, recs)
 }

@@ -7,6 +7,9 @@
 #   go build     the module compiles
 #   lint         the repo's own analyzer suite (see internal/lint), zero findings
 #   go test -race  full test suite under the race detector
+#   chaos smoke  the fault-injection suite (supervisor restarts, outage
+#                windows, bounded drain) once more under -race — the
+#                tests most sensitive to goroutine leaks and deadlocks
 #   bench smoke  every benchmark runs once (-benchtime=1x), so a broken
 #                benchmark cannot sit undetected until a baseline run
 set -eu
@@ -32,6 +35,10 @@ go run ./cmd/lint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+chaos_run='TestChaos|TestStop|TestKill|TestOutage|TestFault|TestConnFault|TestBackoff|TestDropsSession|TestPotDown'
+echo "==> chaos smoke (go test -race -count=1 -run '$chaos_run')"
+go test -race -count=1 -run "$chaos_run" ./internal/farm ./internal/netsim ./internal/faults
 
 echo "==> benchmark smoke (go test -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null
