@@ -23,6 +23,7 @@ import (
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/replay"
 	"honeyfarm/internal/report"
+	"honeyfarm/internal/wal"
 	"honeyfarm/internal/workload"
 )
 
@@ -354,6 +355,68 @@ func BenchmarkGenerateWorkers(b *testing.B) {
 			b.ReportMetric(200_000/b.Elapsed().Seconds()*float64(b.N), "sessions/s")
 		})
 	}
+}
+
+// BenchmarkWALAppendRecover measures the durability tax: appending the
+// shared dataset to a segmented WAL in generation-sized batches (with
+// group-commit fsync), and recovering it again with a full scan +
+// replay. scripts/bench.sh records both rows alongside the generation
+// baselines.
+func BenchmarkWALAppendRecover(b *testing.B) {
+	recs := benchDataset(b).Store.Records()
+	if len(recs) > 65536 {
+		recs = recs[:65536]
+	}
+	const batch = 4096
+	writeAll := func(dir string) {
+		b.Helper()
+		log, _, err := wal.Open(dir, wal.Options{Epoch: DefaultEpoch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for lo := 0; lo < len(recs); lo += batch {
+			hi := lo + batch
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if err := log.AppendTagged(uint64(lo/batch), recs[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := log.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			writeAll(dir)
+		}
+		b.ReportMetric(float64(len(recs))/b.Elapsed().Seconds()*float64(b.N), "records/s")
+	})
+	b.Run("recover", func(b *testing.B) {
+		dir := b.TempDir()
+		writeAll(dir)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			log, rec, err := wal.Open(dir, wal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := rec.Replay().Len(); got != len(recs) {
+				b.Fatalf("recovered %d records, want %d", got, len(recs))
+			}
+			if err := log.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(recs))/b.Elapsed().Seconds()*float64(b.N), "records/s")
+	})
 }
 
 func sizeName(n int) string {

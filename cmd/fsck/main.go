@@ -1,0 +1,133 @@
+// Command fsck verifies — and optionally repairs — the crash-safety
+// artifacts a honeyfarm run leaves behind:
+//
+//   - a directory argument is checked as a write-ahead log (see
+//     internal/wal): every segment is scanned frame by frame, CRCs are
+//     validated, and per-segment frame/record/byte statistics are
+//     printed. A torn tail (a partially written final frame) is
+//     reported; -repair truncates it away, after which the log opens
+//     cleanly again.
+//   - a file argument is checked as a JSONL dataset: records are parsed
+//     strictly, and a torn trailing line (SIGKILL mid-save without
+//     atomic write) is reported. -repair rewrites the recovered prefix.
+//
+// Exit status is 0 when everything is healthy (or was repaired), 1 when
+// damage remains, 2 on usage errors.
+//
+// Usage:
+//
+//	fsck [-repair] path...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"honeyfarm/internal/atomicio"
+	"honeyfarm/internal/store"
+	"honeyfarm/internal/wal"
+)
+
+func main() {
+	repair := flag.Bool("repair", false, "truncate torn WAL segments / rewrite recoverable JSONL prefixes")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fsck [-repair] path...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		info, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
+			exit = 2
+			continue
+		}
+		var healthy bool
+		if info.IsDir() {
+			healthy = checkWAL(path, *repair)
+		} else {
+			healthy = checkJSONL(path, *repair)
+		}
+		if !healthy && exit == 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// checkWAL scans one WAL directory and reports per-segment statistics.
+// Returns true when the log is healthy (possibly after repair).
+func checkWAL(dir string, repair bool) bool {
+	rec, err := wal.Verify(dir, time.Time{})
+	if err != nil {
+		fmt.Printf("%s: unreadable WAL: %v\n", dir, err)
+		return false
+	}
+	printWAL(dir, rec)
+	if rec.Healthy() {
+		return true
+	}
+	if !repair {
+		fmt.Printf("%s: %d torn bytes (run with -repair to truncate)\n", dir, rec.TornBytes)
+		return false
+	}
+	repaired, err := wal.Repair(dir, time.Time{})
+	if err != nil {
+		fmt.Printf("%s: repair failed: %v\n", dir, err)
+		return false
+	}
+	fmt.Printf("%s: repaired; %d records survive\n", dir, repaired.Records())
+	return repaired.Healthy()
+}
+
+// printWAL renders the per-segment frame/checksum statistics.
+func printWAL(dir string, rec *wal.Recovery) {
+	fmt.Printf("%s: %d segments, %d batches, %d records, epoch %s\n",
+		dir, len(rec.Segments), len(rec.Batches), rec.Records(), rec.Epoch.Format("2006-01-02"))
+	fmt.Printf("  %-16s %-8s %-9s %-10s %-11s %s\n",
+		"segment", "frames", "records", "bytes", "good_bytes", "state")
+	for _, s := range rec.Segments {
+		state := "ok"
+		if s.Torn {
+			state = fmt.Sprintf("TORN (%d bytes)", s.TornBytes)
+		}
+		fmt.Printf("  %-16s %-8d %-9d %-10d %-11d %s\n",
+			s.Name, s.Frames, s.Records, s.Bytes, s.GoodBytes, state)
+	}
+}
+
+// checkJSONL validates one JSONL dataset file, tolerating (and
+// reporting) a torn trailing line. Returns true when the file is
+// healthy (possibly after repair).
+func checkJSONL(path string, repair bool) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Printf("%s: %v\n", path, err)
+		return false
+	}
+	st, rep, err := store.ReadJSONLWith(f, store.ReadJSONLOptions{AllowTornTail: true})
+	f.Close()
+	if err != nil {
+		fmt.Printf("%s: unrecoverable: %v\n", path, err)
+		return false
+	}
+	if !rep.Truncated {
+		fmt.Printf("%s: ok, %d records\n", path, rep.Records)
+		return true
+	}
+	fmt.Printf("%s: torn tail (%d trailing bytes); %d of %d records recoverable\n",
+		path, rep.TornBytes, rep.Records, rep.HeaderCount)
+	if !repair {
+		fmt.Printf("%s: run with -repair to rewrite the recovered prefix\n", path)
+		return false
+	}
+	if err := atomicio.WriteFile(path, st.WriteJSONL); err != nil {
+		fmt.Printf("%s: repair failed: %v\n", path, err)
+		return false
+	}
+	fmt.Printf("%s: repaired; %d records survive\n", path, st.Len())
+	return true
+}

@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"honeyfarm"
+	"honeyfarm/internal/atomicio"
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/scenario"
 	"honeyfarm/internal/workload"
@@ -29,8 +31,10 @@ func main() {
 	pots := flag.Int("pots", 221, "number of honeypots")
 	seed := flag.Int64("seed", 1, "generation seed")
 	scenarioPath := flag.String("scenario", "", "JSON scenario file overriding the paper's calibration")
-	out := flag.String("out", "dataset.jsonl", "output path ('-' for stdout)")
+	out := flag.String("out", "dataset.jsonl", "output path ('-' for stdout; files are written atomically)")
 	format := flag.String("format", "jsonl", "output format: jsonl (this repo) or cowrie (cowrie.json events)")
+	walDir := flag.String("wal-dir", "", "checkpoint directory: completed generation shards are persisted to a write-ahead log there")
+	resume := flag.Bool("resume", false, "continue an interrupted run from -wal-dir (byte-identical to an uninterrupted run)")
 	flag.Parse()
 
 	var d *honeyfarm.Dataset
@@ -41,6 +45,12 @@ func main() {
 		}
 		if cfg.Seed == 0 {
 			cfg.Seed = *seed
+		}
+		if *walDir != "" {
+			cfg.CheckpointDir = *walDir
+		}
+		if *resume {
+			cfg.Resume = true
 		}
 		cfg.Registry = geo.NewRegistry(geo.Config{Seed: cfg.Seed})
 		res, err := workload.Generate(cfg)
@@ -55,6 +65,8 @@ func main() {
 			TotalSessions: *sessions,
 			Days:          *days,
 			NumPots:       *pots,
+			CheckpointDir: *walDir,
+			Resume:        *resume,
 		})
 		if err != nil {
 			log.Fatalf("simulate: %v", err)
@@ -73,15 +85,8 @@ func main() {
 		}
 		return
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatalf("creating output: %v", err)
-	}
-	if err := save(f); err != nil {
+	if err := atomicio.WriteFile(*out, func(w io.Writer) error { return save(w) }); err != nil {
 		log.Fatalf("writing dataset: %v", err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("closing output: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d sessions to %s\n", d.Sessions(), *out)
 }

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	reproduce [-sessions 400000] [-seed 1] [-out report.txt] [-faults plan.json]
+//	reproduce -wal-dir ckpt/ ...        # crash-safe: checkpoint to a WAL
+//	reproduce -wal-dir ckpt/ -resume    # continue an interrupted run
 package main
 
 import (
@@ -19,15 +21,18 @@ import (
 
 	"honeyfarm"
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/atomicio"
 	"honeyfarm/internal/stats"
 )
 
 func main() {
 	sessions := flag.Int("sessions", 400_000, "sessions to generate")
 	seed := flag.Int64("seed", 1, "generation seed")
-	out := flag.String("out", "", "report path (default stdout)")
+	out := flag.String("out", "", "report path (default stdout; written atomically)")
 	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS); output is identical for any value")
 	faultsArg := flag.String("faults", "", "fault plan: path to a JSON file, or inline JSON starting with '{' (deterministic per seed)")
+	walDir := flag.String("wal-dir", "", "checkpoint directory: completed generation shards are persisted to a write-ahead log there")
+	resume := flag.Bool("resume", false, "continue an interrupted run from -wal-dir (byte-identical to an uninterrupted run)")
 	flag.Parse()
 
 	plan, err := loadFaultPlan(*faultsArg, *seed)
@@ -35,31 +40,34 @@ func main() {
 		log.Fatalf("fault plan: %v", err)
 	}
 
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatalf("creating report: %v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-
 	fmt.Fprintf(os.Stderr, "generating %d sessions (scale 1/%d of the paper)...\n",
 		*sessions, 402_000_000/max(1, *sessions))
 	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
 		Seed: *seed, TotalSessions: *sessions, Workers: *workers, Faults: plan,
+		CheckpointDir: *walDir, Resume: *resume,
 	})
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}
 
-	if d.Faults != nil {
-		WriteAvailability(w, d)
+	render := func(w io.Writer) error {
+		if d.Faults != nil {
+			WriteAvailability(w, d)
+		}
+		WriteComparison(w, d)
+		fmt.Fprintf(w, "\n\n======== FULL ARTIFACT REPORT ========\n")
+		d.WriteReport(w, honeyfarm.ReportOptions{})
+		return nil
 	}
-	WriteComparison(w, d)
-	fmt.Fprintf(w, "\n\n======== FULL ARTIFACT REPORT ========\n")
-	d.WriteReport(w, honeyfarm.ReportOptions{})
+	if *out == "" {
+		if err := render(os.Stdout); err != nil {
+			log.Fatalf("writing report: %v", err)
+		}
+		return
+	}
+	if err := atomicio.WriteFile(*out, render); err != nil {
+		log.Fatalf("writing report: %v", err)
+	}
 }
 
 // loadFaultPlan parses the -faults argument: empty means no plan, a
@@ -96,23 +104,24 @@ func loadFaultPlan(arg string, seed int64) (*honeyfarm.FaultPlan, error) {
 func WriteAvailability(w io.Writer, d *honeyfarm.Dataset) {
 	rows := d.Availability()
 	fmt.Fprintln(w, "======== PER-HONEYPOT AVAILABILITY (faulted run) ========")
-	fmt.Fprintf(w, "%-6s %-10s %-10s %-14s %-10s %s\n",
-		"pot", "sessions", "down_days", "availability", "down_drops", "conn_drops")
-	downPots, totalDown, totalConn := 0, 0, 0
+	fmt.Fprintf(w, "%-6s %-10s %-10s %-14s %-10s %-10s %s\n",
+		"pot", "sessions", "down_days", "availability", "down_drops", "conn_drops", "sink_drops")
+	downPots, totalDown, totalConn, totalSink := 0, 0, 0, 0
 	for _, r := range rows {
 		totalDown += r.DowntimeDrops
 		totalConn += r.ConnDrops
-		if r.DownDays == 0 && r.DowntimeDrops == 0 && r.ConnDrops == 0 {
+		totalSink += r.SinkDrops
+		if r.DownDays == 0 && r.DowntimeDrops == 0 && r.ConnDrops == 0 && r.SinkDrops == 0 {
 			continue
 		}
 		if r.DownDays > 0 {
 			downPots++
 		}
-		fmt.Fprintf(w, "%-6d %-10d %-10d %-14.3f %-10d %d\n",
-			r.Pot, r.Sessions, r.DownDays, r.Availability, r.DowntimeDrops, r.ConnDrops)
+		fmt.Fprintf(w, "%-6d %-10d %-10d %-14.3f %-10d %-10d %d\n",
+			r.Pot, r.Sessions, r.DownDays, r.Availability, r.DowntimeDrops, r.ConnDrops, r.SinkDrops)
 	}
-	fmt.Fprintf(w, "totals: %d pots with outage windows, %d sessions lost to downtime, %d to connection faults\n\n",
-		downPots, totalDown, totalConn)
+	fmt.Fprintf(w, "totals: %d pots with outage windows, %d sessions lost to downtime, %d to connection faults, %d dropped at the collector\n\n",
+		downPots, totalDown, totalConn, totalSink)
 }
 
 func max(a, b int) int {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/atomicio"
 	"honeyfarm/internal/cowrielog"
 	"honeyfarm/internal/farm"
 	"honeyfarm/internal/faults"
@@ -56,6 +57,10 @@ type (
 	FaultPlan   = faults.Plan
 	FaultOutage = faults.Outage
 	FaultReport = faults.Report
+	// DurableSink receives every accepted record batch before the
+	// in-memory store keeps it — write-ahead persistence for crash
+	// safety (wal.Log satisfies it).
+	DurableSink = store.DurableSink
 )
 
 // Category values.
@@ -93,6 +98,12 @@ type SimulateConfig struct {
 	// connection-fault share); the Dataset's Availability table reports
 	// the per-pot losses. Same seed + same plan ⇒ byte-identical output.
 	Faults *FaultPlan
+	// CheckpointDir makes generation crash-safe: completed work is
+	// appended to a write-ahead log there, and a run interrupted mid-way
+	// can be restarted with Resume to continue from the first unfinished
+	// shard — still producing byte-identical output. See workload.Config.
+	CheckpointDir string
+	Resume        bool
 }
 
 // Dataset is a generated or loaded session dataset with its geography,
@@ -126,6 +137,8 @@ func Simulate(cfg SimulateConfig) (*Dataset, error) {
 		Epoch:         DefaultEpoch,
 		Workers:       cfg.Workers,
 		Faults:        cfg.Faults,
+		CheckpointDir: cfg.CheckpointDir,
+		Resume:        cfg.Resume,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +188,10 @@ type FarmConfig struct {
 	// graceful drain.
 	DayLength    time.Duration
 	DrainTimeout time.Duration
+	// Durable, when non-nil, makes the farm's collector write-ahead
+	// persistent: every accepted record batch reaches the sink before it
+	// is kept in memory.
+	Durable DurableSink
 }
 
 // NewFarm builds (but does not start) a wire-level honeyfarm.
@@ -192,23 +209,18 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		Faults:       cfg.Faults,
 		DayLength:    cfg.DayLength,
 		DrainTimeout: cfg.DrainTimeout,
+		Durable:      cfg.Durable,
 	})
 }
 
 // Save writes the dataset's sessions as JSONL.
 func (d *Dataset) Save(w io.Writer) error { return d.Store.WriteJSONL(w) }
 
-// SaveFile writes the dataset to a file.
+// SaveFile writes the dataset to a file, atomically: the JSONL goes to
+// a same-directory temporary file that is fsynced and renamed into
+// place, so a crash mid-save never leaves a truncated dataset at path.
 func (d *Dataset) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := d.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, d.Save)
 }
 
 // LoadDataset reads a JSONL dataset. The registry and seed must match

@@ -24,6 +24,10 @@ type PotAvailability struct {
 	// those lost to connection-level faults (refuse/reset/stall).
 	DowntimeDrops int
 	ConnDrops     int
+	// SinkDrops counts finished sessions the collector discarded (pot
+	// down at record time, or shutdown past the drain deadline) — the
+	// durability-loss column, distinct from the injected-fault drops.
+	SinkDrops int
 }
 
 // ComputeAvailability builds the per-pot availability table for a run.
@@ -39,6 +43,7 @@ func ComputeAvailability(s *store.Store, rep *faults.Report, numPots, days int) 
 			row.DownDays = pr.DownDays
 			row.DowntimeDrops = pr.DowntimeDrops
 			row.ConnDrops = pr.ConnDrops
+			row.SinkDrops = pr.SinkDrops
 			if days > 0 {
 				row.Availability = 1 - float64(pr.DownDays)/float64(days)
 			}
@@ -48,11 +53,11 @@ func ComputeAvailability(s *store.Store, rep *faults.Report, numPots, days int) 
 	return out
 }
 
-// TotalDropped sums both drop counters across the table.
+// TotalDropped sums every drop counter across the table.
 func TotalDropped(rows []PotAvailability) int {
 	total := 0
 	for _, r := range rows {
-		total += r.DowntimeDrops + r.ConnDrops
+		total += r.DowntimeDrops + r.ConnDrops + r.SinkDrops
 	}
 	return total
 }

@@ -1,0 +1,79 @@
+// Package atomicio provides crash-safe whole-file writes: content goes
+// to a temporary file in the destination directory, is fsynced, and is
+// renamed into place. A reader therefore sees either the old file or
+// the complete new one — never a half-written report or dataset, which
+// is the failure mode a SIGKILL mid-write leaves behind with a plain
+// os.Create.
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file is <path>.tmp in the same directory (same
+// filesystem, so the rename is atomic); it is removed on any failure.
+// After the rename the directory is fsynced best-effort so the new
+// entry itself survives a crash.
+func WriteFile(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("atomicio: creating %s: %w", tmp, err)
+	}
+	if err := write(f); err != nil {
+		return abandon(err, f, tmp)
+	}
+	if err := f.Sync(); err != nil {
+		return abandon(fmt.Errorf("atomicio: syncing %s: %w", tmp, err), f, tmp)
+	}
+	if err := f.Close(); err != nil {
+		return abandon(fmt.Errorf("atomicio: closing %s: %w", tmp, err), nil, tmp)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return abandon(fmt.Errorf("atomicio: renaming into place: %w", err), nil, tmp)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// abandon cleans up the temporary file on a failure path: closing f
+// (when still open) and removing tmp. The primary error is returned
+// unchanged when cleanup succeeds; a failed removal is joined onto it
+// so a stranded .tmp is never silent.
+func abandon(primary error, f *os.File, tmp string) error {
+	if f != nil {
+		f.Close()
+	}
+	if rerr := os.Remove(tmp); rerr != nil && !os.IsNotExist(rerr) {
+		return errors.Join(primary, fmt.Errorf("atomicio: removing %s: %w", tmp, rerr))
+	}
+	return primary
+}
+
+// WriteFileBytes is WriteFile for ready-made content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. The
+// sync is best-effort by design: some filesystems refuse directory
+// fsync, and the rename itself already happened, so a refusal must not
+// fail the write that triggered it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	if err := d.Sync(); err != nil {
+		// Refused directory fsync (see above); nothing to recover.
+	}
+	d.Close()
+}

@@ -1,0 +1,121 @@
+package farm
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"honeyfarm/internal/faults"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/sshwire"
+	"honeyfarm/internal/wal"
+)
+
+// TestDurableCollectorSurvivesInWAL: with a WAL as the farm's durable
+// sink, a collected session is recoverable from disk alone.
+func TestDurableCollectorSurvivesInWAL(t *testing.T) {
+	dir := t.TempDir()
+	epoch := time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+	log, rec, err := wal.Open(dir, wal.Options{Epoch: epoch, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records() != 0 {
+		t.Fatalf("fresh WAL has %d records", rec.Records())
+	}
+
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	f, err := New(Config{
+		Seed: 1, NumPots: 4, NumASes: 4,
+		Countries: []string{"US", "SG", "DE", "JP"},
+		Registry:  reg, Epoch: epoch, Durable: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	nc, err := f.Fabric().Dial("203.0.113.9", f.SSHAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "admin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Close()
+	waitFor(t, 5*time.Second, func() bool { return f.Collector().Len() == 1 }, "record collected")
+	f.Stop()
+	if err := f.DurableErr(); err != nil {
+		t.Fatalf("durable sink error: %v", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-memory collector is gone with the process; the WAL is not.
+	_, rec2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := rec2.Replay()
+	if replayed.Len() != 1 {
+		t.Fatalf("WAL replay has %d records, want 1", replayed.Len())
+	}
+	got := replayed.Records()[0]
+	want := f.Collector().Records()[0]
+	if got.ClientIP != want.ClientIP || got.HoneypotID != want.HoneypotID || !got.Start.Equal(want.Start) {
+		t.Fatalf("replayed record %+v != collected %+v", got, want)
+	}
+}
+
+// TestSinkDropAccountedPerPot: a record arriving while its pot is down
+// is dropped AND attributed to that pot in the fault report, so
+// durability losses are distinguishable from injected faults.
+func TestSinkDropAccountedPerPot(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	f, err := New(Config{
+		Seed: 1, NumPots: 4, NumASes: 4,
+		Countries: []string{"US", "SG", "DE", "JP"},
+		Registry:  reg,
+		// Huge backoff: the killed pot stays down for the whole test.
+		Faults: &faults.Plan{Seed: 9, BackoffBaseMS: 60_000, BackoffCapMS: 60_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+
+	// Open a session against pot 2, then kill the pot mid-session: the
+	// severed handler still finishes its record, which now has nowhere
+	// to go.
+	nc, err := f.Fabric().Dial("203.0.113.10", f.SSHAddr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "admin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	f.Kill(2)
+	go func() { _, _ = io.ReadAll(nc) }()
+
+	waitFor(t, 5*time.Second, func() bool { return f.Stats().DroppedRecords == 1 }, "record dropped")
+	rep := f.FaultReport(10)
+	if rep.Pots[2].SinkDrops != 1 {
+		t.Fatalf("pot 2 sink drops = %d, want 1 (report %+v)", rep.Pots[2].SinkDrops, rep.Pots)
+	}
+	if rep.TotalDropped() != 1 {
+		t.Fatalf("total dropped = %d, want 1", rep.TotalDropped())
+	}
+	if f.Collector().Len() != 0 {
+		t.Fatalf("collector kept %d records, want 0", f.Collector().Len())
+	}
+}

@@ -67,6 +67,11 @@ type Config struct {
 	// DrainTimeout bounds Stop's graceful drain; zero selects
 	// DefaultDrainTimeout, negative forces immediate teardown.
 	DrainTimeout time.Duration
+	// Durable, when non-nil, is appended every accepted record batch
+	// before the collector keeps it in memory (typically a *wal.Log), so
+	// a crash of the collecting process loses at most the unsynced tail
+	// of the write-ahead log instead of the whole run.
+	Durable store.DurableSink
 }
 
 // Stats is a snapshot of the farm's operational counters.
@@ -109,6 +114,9 @@ type Farm struct {
 	stopped bool
 	forced  bool // drain deadline passed; further records are dropped
 	stats   Stats
+	// droppedByPot splits Stats.DroppedRecords per honeypot, feeding the
+	// availability table's sink_drops column.
+	droppedByPot []int
 
 	connMu sync.Mutex
 	conns  map[net.Conn]int // live connection -> pot index
@@ -163,14 +171,18 @@ func New(cfg Config) (*Farm, error) {
 		return nil, fmt.Errorf("farm: placement: %w", err)
 	}
 	f := &Farm{
-		cfg:         cfg,
-		fabric:      netsim.NewFabric(cfg.Latency),
-		deployments: deployments,
-		collector:   store.New(cfg.Epoch),
-		states:      make([]potState, len(deployments)),
-		conns:       make(map[net.Conn]int),
-		stopCh:      make(chan struct{}),
-		restartCh:   make(chan restartReq, 2*len(deployments)+8),
+		cfg:          cfg,
+		fabric:       netsim.NewFabric(cfg.Latency),
+		deployments:  deployments,
+		collector:    store.New(cfg.Epoch),
+		states:       make([]potState, len(deployments)),
+		droppedByPot: make([]int, len(deployments)),
+		conns:        make(map[net.Conn]int),
+		stopCh:       make(chan struct{}),
+		restartCh:    make(chan restartReq, 2*len(deployments)+8),
+	}
+	if cfg.Durable != nil {
+		f.collector.SetDurable(cfg.Durable)
 	}
 	for i, d := range deployments {
 		pot, err := honeypot.New(honeypot.Config{
@@ -201,6 +213,7 @@ func (f *Farm) sinkFor(i int) func(*honeypot.SessionRecord) {
 		drop := f.forced || (!f.stopped && !f.states[i].up)
 		if drop {
 			f.stats.DroppedRecords++
+			f.droppedByPot[i]++
 		}
 		f.mu.Unlock()
 		if !drop {
@@ -227,6 +240,24 @@ func (f *Farm) Stats() Stats {
 	defer f.mu.Unlock()
 	return f.stats
 }
+
+// FaultReport renders the farm's loss accounting as a faults.Report
+// covering days observation days: the plan's outage windows (when one
+// is configured) plus the per-pot sink-drop counters, so availability
+// tables over wire-farm data distinguish collector losses from
+// injected faults.
+func (f *Farm) FaultReport(days int) *faults.Report {
+	rep := faults.NewReport(f.cfg.Faults, len(f.pots), days)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for pot, n := range f.droppedByPot {
+		rep.AddSinkDrops(pot, n)
+	}
+	return rep
+}
+
+// DurableErr reports the first write-ahead persistence failure, if any.
+func (f *Farm) DurableErr() error { return f.collector.DurableErr() }
 
 // PotUp reports whether honeypot i currently has bound listeners.
 func (f *Farm) PotUp(i int) bool {

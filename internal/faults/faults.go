@@ -278,6 +278,11 @@ type PotReport struct {
 	DowntimeDrops int
 	// ConnDrops counts sessions lost to connection-level faults.
 	ConnDrops int
+	// SinkDrops counts finished sessions the collector discarded — the
+	// pot was down when the record arrived, or shutdown had passed the
+	// drain deadline. Kept separate from the fault-plan columns so
+	// durability losses are distinguishable from injected faults.
+	SinkDrops int
 }
 
 // Report aggregates what a fault plan did to one run: the per-pot
@@ -325,11 +330,19 @@ func (r *Report) AddConnDrop(pot int) {
 	}
 }
 
-// TotalDropped sums both drop classes over all pots.
+// AddSinkDrops counts n finished sessions the collector discarded for
+// the given pot (down at record time, or past the drain deadline).
+func (r *Report) AddSinkDrops(pot, n int) {
+	if pot >= 0 && pot < len(r.Pots) {
+		r.Pots[pot].SinkDrops += n
+	}
+}
+
+// TotalDropped sums every drop class over all pots.
 func (r *Report) TotalDropped() int {
 	total := 0
 	for _, p := range r.Pots {
-		total += p.DowntimeDrops + p.ConnDrops
+		total += p.DowntimeDrops + p.ConnDrops + p.SinkDrops
 	}
 	return total
 }

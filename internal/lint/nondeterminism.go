@@ -22,6 +22,7 @@ var DeterministicPkgSuffixes = []string{
 	"internal/report",
 	"internal/scenario",
 	"internal/stats",
+	"internal/wal",
 	"internal/workload",
 }
 

@@ -16,6 +16,13 @@ import (
 	"honeyfarm/internal/honeypot"
 )
 
+// DurableSink persists record batches before the store acknowledges
+// them in memory — the write-ahead half of the collector's durability
+// contract. wal.Log implements it.
+type DurableSink interface {
+	Append(recs []*honeypot.SessionRecord) error
+}
+
 // Store collects session records. The zero value is not usable; create
 // with New or Builder.Seal. All methods are safe for concurrent use.
 type Store struct {
@@ -27,6 +34,45 @@ type Store struct {
 	// repeated calls never rescan records that were already indexed.
 	scanned int
 	maxDay  int
+	// Durable sink mode: when sink is non-nil every Add/AddBatch writes
+	// the records through it before they enter memory. sinkErr keeps the
+	// first persistence failure; records are kept in memory regardless,
+	// so a failing disk degrades durability, never the dataset.
+	sink    DurableSink
+	sinkErr error
+}
+
+// SetDurable attaches a write-ahead sink. Call before records flow;
+// subsequent Add/AddBatch calls persist through the sink first.
+func (s *Store) SetDurable(sink DurableSink) {
+	s.mu.Lock()
+	s.sink = sink
+	s.mu.Unlock()
+}
+
+// DurableErr returns the first error the durable sink reported, or nil.
+func (s *Store) DurableErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sinkErr
+}
+
+// persist writes recs through the durable sink, if any, recording the
+// first failure.
+func (s *Store) persist(recs []*honeypot.SessionRecord) {
+	s.mu.RLock()
+	sink := s.sink
+	s.mu.RUnlock()
+	if sink == nil {
+		return
+	}
+	if err := sink.Append(recs); err != nil {
+		s.mu.Lock()
+		if s.sinkErr == nil {
+			s.sinkErr = err
+		}
+		s.mu.Unlock()
+	}
 }
 
 // New creates a store whose day buckets are counted from epoch (the
@@ -49,15 +95,18 @@ func normalizeEpoch(epoch time.Time) time.Time {
 // Epoch returns the observation period start.
 func (s *Store) Epoch() time.Time { return s.epoch }
 
-// Add appends one record.
+// Add appends one record, persisting it first in durable sink mode.
 func (s *Store) Add(rec *honeypot.SessionRecord) {
+	s.persist([]*honeypot.SessionRecord{rec})
 	s.mu.Lock()
 	s.recs = append(s.recs, rec)
 	s.mu.Unlock()
 }
 
-// AddBatch appends many records with one lock acquisition.
+// AddBatch appends many records with one lock acquisition, persisting
+// them first in durable sink mode.
 func (s *Store) AddBatch(recs []*honeypot.SessionRecord) {
+	s.persist(recs)
 	s.mu.Lock()
 	s.recs = append(s.recs, recs...)
 	s.mu.Unlock()
@@ -203,23 +252,63 @@ func (s *Store) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ReadJSONLOptions tunes ReadJSONLWith. The zero value is the strict
+// contract ReadJSONL enforces.
+type ReadJSONLOptions struct {
+	// AllowTornTail tolerates the crash artifact of an interrupted
+	// writer: a malformed final line is discarded and fewer records than
+	// the header promised are accepted, with both reported in the
+	// TruncationReport. Corruption anywhere else still errors.
+	AllowTornTail bool
+}
+
+// TruncationReport describes what tolerant JSONL reading recovered and
+// what it had to discard.
+type TruncationReport struct {
+	// Records is the number of records recovered; HeaderCount is what
+	// the header promised.
+	Records     int
+	HeaderCount int
+	// Torn reports that a malformed final line was discarded; TornBytes
+	// is its length.
+	Torn      bool
+	TornBytes int
+	// Truncated reports that fewer records were recovered than the
+	// header promised (a torn line, or whole lines lost at a newline
+	// boundary).
+	Truncated bool
+}
+
 // ReadJSONL loads a store previously written by WriteJSONL. The header
 // count is validated unconditionally against the records actually
 // decoded, so a truncated stream or a corrupted header — including one
 // claiming zero records when records follow — is always an error.
 func ReadJSONL(r io.Reader) (*Store, error) {
+	s, _, err := ReadJSONLWith(r, ReadJSONLOptions{})
+	return s, err
+}
+
+// ReadJSONLWith is ReadJSONL with an options struct: the strict default
+// behaves exactly like ReadJSONL, while AllowTornTail recovers the
+// intact prefix of a crash-truncated dump and reports the damage.
+func ReadJSONLWith(r io.Reader, opts ReadJSONLOptions) (*Store, TruncationReport, error) {
+	var rep TruncationReport
 	br := bufio.NewReaderSize(r, 1<<20)
-	dec := json.NewDecoder(br)
+	hdrLine, err := readLine(br)
+	if err != nil && len(hdrLine) == 0 {
+		return nil, rep, fmt.Errorf("store: reading header: %w", err)
+	}
 	var hdr jsonlHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("store: reading header: %w", err)
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return nil, rep, fmt.Errorf("store: reading header: %w", err)
 	}
 	if hdr.Format != formatName {
-		return nil, fmt.Errorf("store: unknown format %q", hdr.Format)
+		return nil, rep, fmt.Errorf("store: unknown format %q", hdr.Format)
 	}
 	if hdr.Count < 0 {
-		return nil, fmt.Errorf("store: header promises negative record count %d", hdr.Count)
+		return nil, rep, fmt.Errorf("store: header promises negative record count %d", hdr.Count)
 	}
+	rep.HeaderCount = hdr.Count
 	s := New(hdr.Epoch)
 	// Cap the pre-allocation: a corrupted count must not translate into
 	// an attacker-sized allocation before the mismatch is detected.
@@ -229,17 +318,53 @@ func ReadJSONL(r io.Reader) (*Store, error) {
 	}
 	s.recs = make([]*honeypot.SessionRecord, 0, capHint)
 	for {
-		rec := new(honeypot.SessionRecord)
-		if err := dec.Decode(rec); err != nil {
-			if err == io.EOF {
-				break
+		line, err := readLine(br)
+		if len(line) > 0 {
+			rec := new(honeypot.SessionRecord)
+			if uerr := json.Unmarshal(line, rec); uerr != nil {
+				// A malformed line with nothing after it is the torn tail
+				// of an interrupted write; anything earlier is corruption.
+				last := err == io.EOF || atEOF(br)
+				if opts.AllowTornTail && last {
+					rep.Torn = true
+					rep.TornBytes = len(line)
+					break
+				}
+				return nil, rep, fmt.Errorf("store: reading record %d: %w", len(s.recs), uerr)
 			}
-			return nil, fmt.Errorf("store: reading record %d: %w", len(s.recs), err)
+			s.recs = append(s.recs, rec)
 		}
-		s.recs = append(s.recs, rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, rep, fmt.Errorf("store: reading record %d: %w", len(s.recs), err)
+		}
 	}
-	if len(s.recs) != hdr.Count {
-		return nil, fmt.Errorf("store: header promised %d records, found %d", hdr.Count, len(s.recs))
+	rep.Records = len(s.recs)
+	rep.Truncated = len(s.recs) < hdr.Count
+	if len(s.recs) > hdr.Count || (rep.Truncated && !opts.AllowTornTail) {
+		return nil, rep, fmt.Errorf("store: header promised %d records, found %d", hdr.Count, len(s.recs))
 	}
-	return s, nil
+	return s, rep, nil
+}
+
+// readLine reads one newline-terminated line, returning it without the
+// terminator. At EOF the final unterminated line (if any) is returned
+// alongside io.EOF.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if err == nil && len(line) == 0 {
+		return nil, nil
+	}
+	return line, err
+}
+
+// atEOF reports whether the reader has no further bytes.
+func atEOF(br *bufio.Reader) bool {
+	_, err := br.Peek(1)
+	return err == io.EOF
 }

@@ -1,0 +1,511 @@
+// Package wal implements the collector's segmented, append-only
+// write-ahead log. The paper's honeyfarm survived 15 months of
+// continuous ingest; this package is the durability layer that lets our
+// collector do the same: session-record batches are framed, checksummed
+// and appended to segment files, fsynced in deterministic record-count
+// groups, and recovered after a crash by scanning the segments,
+// truncating the torn tail frame, and replaying every intact frame.
+//
+// On-disk layout: a WAL directory holds segment files named
+// wal-<seq>.seg. Each segment starts with a meta frame carrying the
+// format name, the segment sequence number and the store epoch; batch
+// frames follow. A frame is
+//
+//	uint32 LE  payload length n
+//	uint32 LE  CRC-32C (Castagnoli) of the payload
+//	n bytes    payload: 1 kind byte + JSON body
+//
+// Appends go to the highest segment; when it exceeds the configured
+// byte threshold it is fsynced, closed, and a new segment is opened.
+// Because a segment is only ever succeeded after a full sync, a crash
+// can tear at most the tail of the final segment — the recovery
+// invariant the torn-tail rule and the crash-at-every-offset property
+// test depend on.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/store"
+)
+
+// FormatName identifies the WAL on-disk format.
+const FormatName = "honeyfarm-wal-v1"
+
+// Frame kinds (first payload byte).
+const (
+	kindMeta  = 1 // segment header: format, sequence, epoch
+	kindBatch = 2 // session-record batch
+)
+
+// frameHeaderSize is the fixed prefix of every frame: length + CRC.
+const frameHeaderSize = 8
+
+// castagnoli is the CRC-32C table used by every frame checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a log. The zero value selects the defaults.
+type Options struct {
+	// Epoch is the store epoch recorded in segment meta frames and used
+	// to replay recovered records. Required when the directory has no
+	// recoverable meta frame; must match the recorded epoch otherwise
+	// (zero means "use whatever is recorded").
+	Epoch time.Time
+	// SegmentBytes rotates to a new segment once the current one reaches
+	// this size (default 8 MiB).
+	SegmentBytes int64
+	// SyncEvery is the group-commit policy: fsync after this many
+	// appended records (default 512). It is a record count, not a timer,
+	// so the flush schedule is a deterministic function of the append
+	// stream. 1 syncs every append.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 512
+	}
+	return o
+}
+
+// Batch is one recovered record batch. Tag carries the caller's label
+// (the generation checkpoint stores shard indexes there; plain durable
+// sinks use 0).
+type Batch struct {
+	Tag     uint64
+	Records []*honeypot.SessionRecord
+}
+
+// batchBody is the JSON body of a batch frame.
+type batchBody struct {
+	Tag     uint64                    `json:"tag"`
+	Records []*honeypot.SessionRecord `json:"records"`
+}
+
+// metaBody is the JSON body of a segment meta frame.
+type metaBody struct {
+	Format  string    `json:"format"`
+	Segment uint64    `json:"segment"`
+	Epoch   time.Time `json:"epoch"`
+}
+
+// SegmentStat is one segment's recovery/verification summary.
+type SegmentStat struct {
+	// Name is the segment file name within the WAL directory.
+	Name string
+	// Seq is the segment sequence number parsed from the name.
+	Seq uint64
+	// Frames and Records count the intact batch frames and the records
+	// they carry (the meta frame is not counted).
+	Frames  int
+	Records int
+	// Bytes is the file size; GoodBytes the prefix covered by intact
+	// frames (including the meta frame); TornBytes the difference.
+	Bytes     int64
+	GoodBytes int64
+	TornBytes int64
+	// Torn reports a torn or corrupt tail. On the final segment this is
+	// the expected crash artifact; on any earlier segment it is
+	// corruption (Open refuses it, fsck -repair truncates it).
+	Torn bool
+}
+
+// Recovery reports what Open (or Verify) found in a WAL directory.
+type Recovery struct {
+	// Epoch is the store epoch recorded in the segments (or the Options
+	// epoch for a fresh directory).
+	Epoch time.Time
+	// Batches are the intact batch frames in append order.
+	Batches []Batch
+	// Segments holds per-segment frame/checksum stats in sequence order.
+	Segments []SegmentStat
+	// TornBytes is the total tail bytes truncated during recovery.
+	TornBytes int64
+}
+
+// Records counts the recovered records across all batches.
+func (r *Recovery) Records() int {
+	n := 0
+	for _, b := range r.Batches {
+		n += len(b.Records)
+	}
+	return n
+}
+
+// Replay builds a store from the recovered batches.
+func (r *Recovery) Replay() *store.Store {
+	s := store.New(r.Epoch)
+	for _, b := range r.Batches {
+		s.AddBatch(b.Records)
+	}
+	return s
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; concurrent Appends serialize, so the frame order is the
+// serialization order.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // current segment
+	seq     uint64   // current segment sequence number
+	size    int64    // current segment size
+	pending int      // records appended since the last fsync
+	closed  bool
+}
+
+// segmentName formats the file name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+// parseSegmentName extracts the sequence number from a segment name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	var seq uint64
+	_, err := fmt.Sscanf(name, "wal-%d.seg", &seq)
+	return seq, err == nil
+}
+
+// listSegments returns the directory's segment files in sequence order.
+func listSegments(dir string) ([]SegmentStat, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentStat
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, SegmentStat{Name: e.Name(), Seq: seq, Bytes: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// Open opens (creating if necessary) the WAL in dir, recovers its
+// contents, truncates any torn tail frame on the final segment, and
+// positions the log for appending. A torn or corrupt frame on a
+// non-final segment is refused — completed segments were fsynced before
+// their successor existed, so damage there is corruption, not a crash
+// artifact; use Repair to salvage the intact prefix.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	rec, err := scan(dir, opts.Epoch, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.opts.Epoch = rec.Epoch
+
+	if n := len(rec.Segments); n > 0 {
+		last := &rec.Segments[n-1]
+		f, err := os.OpenFile(filepath.Join(dir, last.Name), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: opening segment: %w", err)
+		}
+		// Truncate the torn tail so appends continue from the last intact
+		// frame; recovery already dropped those bytes from the stats.
+		if err := f.Truncate(last.GoodBytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if _, err := f.Seek(last.GoodBytes, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: seeking segment end: %w", err)
+		}
+		l.f, l.seq, l.size = f, last.Seq, last.GoodBytes
+		// A fully torn final segment lost even its meta frame; rewrite it
+		// so the segment stands alone again.
+		if l.size == 0 {
+			if err := l.writeMetaLocked(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+	} else {
+		if err := l.rollLocked(1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return l, rec, nil
+}
+
+// scan reads every segment, validating frames. truncating selects Open
+// semantics (torn tail allowed on the final segment only); Verify and
+// Repair pass false to collect stats for damaged middles too.
+func scan(dir string, epoch time.Time, truncating bool) (*Recovery, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	rec := &Recovery{Epoch: epoch}
+	for i := range segs {
+		seg := &segs[i]
+		batches, err := scanSegment(dir, seg, rec)
+		if err != nil {
+			return nil, err
+		}
+		if seg.Torn && truncating && i != len(segs)-1 {
+			return nil, fmt.Errorf("wal: segment %s has a corrupt frame %d bytes in but is not the final segment; run fsck -repair to truncate it", seg.Name, seg.GoodBytes)
+		}
+		rec.Batches = append(rec.Batches, batches...)
+		rec.TornBytes += seg.TornBytes
+	}
+	rec.Segments = segs
+	// An epoch is established by Options.Epoch or any intact meta frame;
+	// without either (fresh directory, or every meta frame torn) the log
+	// cannot replay into a store.
+	if rec.Epoch.IsZero() {
+		return nil, fmt.Errorf("wal: directory %s has no recoverable epoch; supply Options.Epoch", dir)
+	}
+	return rec, nil
+}
+
+// scanSegment walks one segment's frames, filling seg's counters and
+// returning its intact batches. The first frame must be a meta frame
+// whose format and sequence match; an epoch mismatch against an already
+// established epoch is an error, a zero established epoch adopts the
+// recorded one.
+func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
+	data, err := os.ReadFile(filepath.Join(dir, seg.Name))
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	var batches []Batch
+	off := int64(0)
+	first := true
+	// Each intact frame advances off by at least frameHeaderSize, so the
+	// scan is bounded by the segment length.
+	for off < int64(len(data)) {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			break
+		}
+		if first {
+			var meta metaBody
+			if payload[0] != kindMeta || json.Unmarshal(payload[1:], &meta) != nil {
+				break // damaged meta frame: treat as torn at offset 0
+			}
+			if meta.Format != FormatName {
+				return nil, fmt.Errorf("wal: segment %s has unknown format %q", seg.Name, meta.Format)
+			}
+			if meta.Segment != seg.Seq {
+				return nil, fmt.Errorf("wal: segment %s records sequence %d", seg.Name, meta.Segment)
+			}
+			if rec.Epoch.IsZero() {
+				rec.Epoch = meta.Epoch
+			} else if !meta.Epoch.Equal(rec.Epoch) {
+				return nil, fmt.Errorf("wal: segment %s epoch %s does not match %s", seg.Name, meta.Epoch, rec.Epoch)
+			}
+			first = false
+			off = next
+			continue
+		}
+		if payload[0] != kindBatch {
+			break // unknown frame kind: stop at the last understood frame
+		}
+		var body batchBody
+		if err := json.Unmarshal(payload[1:], &body); err != nil {
+			break
+		}
+		batches = append(batches, Batch{Tag: body.Tag, Records: body.Records})
+		seg.Frames++
+		seg.Records += len(body.Records)
+		off = next
+	}
+	seg.GoodBytes = off
+	seg.TornBytes = seg.Bytes - off
+	seg.Torn = seg.TornBytes > 0
+	return batches, nil
+}
+
+// nextFrame validates the frame at off and returns its payload and the
+// next offset. ok is false when the remaining bytes do not hold one
+// intact frame (short header, short payload, CRC mismatch, or an
+// implausible length).
+func nextFrame(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	rest := data[off:]
+	if len(rest) < frameHeaderSize {
+		return nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if n == 0 || int64(n) > int64(len(rest))-frameHeaderSize {
+		return nil, 0, false
+	}
+	payload = rest[frameHeaderSize : frameHeaderSize+int64(n)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, false
+	}
+	return payload, off + frameHeaderSize + int64(n), true
+}
+
+// appendFrame encodes one frame around payload.
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// Dir returns the WAL directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Epoch returns the store epoch the log records.
+func (l *Log) Epoch() time.Time { return l.opts.Epoch }
+
+// Append durably logs one batch of records under tag 0. It satisfies
+// store.DurableSink.
+func (l *Log) Append(recs []*honeypot.SessionRecord) error {
+	return l.AppendTagged(0, recs)
+}
+
+// AppendTagged logs one batch under the given tag (the generation
+// checkpoint tags batches with their shard index). The frame is written
+// atomically with respect to recovery: either the whole batch replays
+// or none of it does. The write is fsynced once SyncEvery records have
+// accumulated since the last sync.
+func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
+	body, err := json.Marshal(batchBody{Tag: tag, Records: recs})
+	if err != nil {
+		return fmt.Errorf("wal: encoding batch: %w", err)
+	}
+	payload := append([]byte{kindBatch}, body...)
+	frame := appendFrame(nil, payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: appending frame: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.pending += len(recs)
+	if l.pending >= l.opts.SyncEvery {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.pending = 0
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pendingRecords returns the records appended since the last fsync —
+// the group-commit policy's observable state (used by tests).
+func (l *Log) pendingRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// Sync forces an fsync of the current segment regardless of the
+// group-commit counter.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.pending = 0
+	return nil
+}
+
+// Close syncs and closes the log. The directory remains valid for a
+// later Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync on close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// rotateLocked seals the current segment (fsync + close) and opens the
+// next one. Sealing before the successor exists is what confines torn
+// tails to the final segment.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync before rotation: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	l.pending = 0
+	return l.rollLocked(l.seq + 1)
+}
+
+// rollLocked opens segment seq for appending and writes its meta frame.
+func (l *Log) rollLocked(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(seq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	if err := l.writeMetaLocked(); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
+}
+
+// writeMetaLocked writes (and syncs) the current segment's meta frame.
+func (l *Log) writeMetaLocked() error {
+	body, err := json.Marshal(metaBody{Format: FormatName, Segment: l.seq, Epoch: l.opts.Epoch})
+	if err != nil {
+		return fmt.Errorf("wal: encoding meta: %w", err)
+	}
+	frame := appendFrame(nil, append([]byte{kindMeta}, body...))
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: writing meta frame: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing meta frame: %w", err)
+	}
+	l.size += int64(len(frame))
+	return nil
+}

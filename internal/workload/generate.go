@@ -95,6 +95,18 @@ type Config struct {
 	// the planning RNG — so the surviving records are byte-identical to
 	// the corresponding subset of the fault-free dataset.
 	Faults *faults.Plan
+	// CheckpointDir, when set, makes generation durable: every completed
+	// decoration shard is appended to a write-ahead log in this
+	// directory, and a manifest fingerprints the configuration. An
+	// interrupted run restarted with Resume skips every shard the WAL
+	// already holds and produces byte-identical output to an
+	// uninterrupted run (shard decoration depends only on (Seed, shard),
+	// never on which run performed it).
+	CheckpointDir string
+	// Resume continues from CheckpointDir's previous run. A checkpoint
+	// created by a different configuration is refused; a missing
+	// checkpoint starts a fresh one.
+	Resume bool
 }
 
 // Result is a generated dataset plus its provenance.
@@ -317,8 +329,17 @@ func GenerateRand(rng *rand.Rand, cfg Config) (*Result, error) {
 
 	dropped, report := g.cull()
 
+	ckpt, err := openCheckpoint(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: checkpoint: %w", err)
+	}
+	st, err := g.decorate(dropped, ckpt)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+
 	return &Result{
-		Store:       g.decorate(dropped),
+		Store:       st,
 		Actors:      g.pop.actors,
 		Tags:        g.tags,
 		Deployments: deployments,
@@ -580,8 +601,11 @@ func shardSeed(seed int64, shard int) int64 {
 // goroutines and seals them into a store. Workers claim shard indexes
 // from an atomic counter and write into per-shard builder buffers;
 // Seal's index-order merge restores the plan order regardless of which
-// worker finished when.
-func (g *generator) decorate(dropped []bool) *store.Store {
+// worker finished when. With a checkpoint open, shards recovered from
+// the WAL are installed verbatim (their decoration already happened in
+// a previous run) and fresh shards are appended to the WAL as they
+// complete.
+func (g *generator) decorate(dropped []bool, ckpt *checkpoint) (*store.Store, error) {
 	nShards := (len(g.plan) + decorateShardSize - 1) / decorateShardSize
 	b := store.NewBuilder(g.cfg.Epoch, nShards)
 	workers := g.cfg.Workers
@@ -598,12 +622,17 @@ func (g *generator) decorate(dropped []bool) *store.Store {
 		go func() {
 			defer wg.Done()
 			for shard := int(next.Add(1)) - 1; shard < nShards; shard = int(next.Add(1)) - 1 {
-				g.decorateShard(b, shard, dropped)
+				g.decorateShard(b, shard, dropped, ckpt)
 			}
 		}()
 	}
 	wg.Wait()
-	return b.Seal()
+	if ckpt != nil {
+		if err := ckpt.close(); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return b.Seal(), nil
 }
 
 // decorateShard fills builder shard i from its derived rand stream.
@@ -612,7 +641,18 @@ func (g *generator) decorate(dropped []bool) *store.Store {
 // plan index (leaving an ID gap) but are decorated and discarded rather
 // than skipped, keeping the shard's rand stream — and therefore every
 // surviving record — byte-identical to the fault-free run.
-func (g *generator) decorateShard(b *store.Builder, shard int, dropped []bool) {
+//
+// A shard the checkpoint already holds is installed as-is without
+// consuming any randomness: its stream was derived from (Seed, shard)
+// alone, so the recovered bytes are exactly what re-decoration would
+// produce, and skipping it cannot perturb any other shard.
+func (g *generator) decorateShard(b *store.Builder, shard int, dropped []bool, ckpt *checkpoint) {
+	if ckpt != nil {
+		if recs, ok := ckpt.shard(shard); ok {
+			b.SetShard(shard, recs)
+			return
+		}
+	}
 	rng := rand.New(rand.NewSource(shardSeed(g.cfg.Seed, shard)))
 	lo := shard * decorateShardSize
 	hi := min(lo+decorateShardSize, len(g.plan))
@@ -624,6 +664,9 @@ func (g *generator) decorateShard(b *store.Builder, shard int, dropped []bool) {
 		}
 	}
 	b.SetShard(shard, recs)
+	if ckpt != nil {
+		ckpt.append(shard, recs)
+	}
 }
 
 // decorateOne turns one planned session into a full record, drawing all

@@ -3,6 +3,7 @@ package honeyfarm
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"honeyfarm/internal/analysis"
 	"honeyfarm/internal/malware"
@@ -162,7 +163,14 @@ func (d *Dataset) WriteReport(w io.Writer, opts ReportOptions) {
 	report.RankSeries(w, "", analysis.ClientHashRank(d.Store), opts.RankPoints)
 
 	section("Figure 22: campaign length ECDF by tag (days)")
-	for tag, e := range d.CampaignDurations() {
+	durations := d.CampaignDurations()
+	tags := make([]string, 0, len(durations))
+	for tag := range durations {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		e := durations[tag]
 		report.ECDFSeries(w, fmt.Sprintf("-- %s (n=%d) --", tag, e.Len()), e, 8)
 	}
 
