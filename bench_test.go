@@ -14,6 +14,8 @@ package honeyfarm
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -21,6 +23,7 @@ import (
 	"honeyfarm/internal/analysis"
 	"honeyfarm/internal/farm"
 	"honeyfarm/internal/geo"
+	"honeyfarm/internal/query"
 	"honeyfarm/internal/replay"
 	"honeyfarm/internal/report"
 	"honeyfarm/internal/wal"
@@ -553,4 +556,92 @@ func BenchmarkAblationNoCampaigns(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQueryIngest measures the live aggregation engine's ingest
+// rate: the sustained records/s internal/query folds into its partial
+// aggregates (sealing once at the end, as the WAL follower does after a
+// drain cycle).
+func BenchmarkQueryIngest(b *testing.B) {
+	d := benchDataset(b)
+	recs := d.Store.Records()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := query.New(query.Config{
+			Epoch:    DefaultEpoch,
+			NumPots:  d.NumPots,
+			Registry: d.Registry,
+			Tagger:   analysis.Tagger(defaultTagger()),
+		})
+		for j := 0; j < len(recs); j += 1024 {
+			k := j + 1024
+			if k > len(recs) {
+				k = len(recs)
+			}
+			eng.Ingest(recs[j:k])
+		}
+		eng.Seal()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkSnapshotServe measures the serving layer's request latency
+// over a sealed snapshot: "uncached" pays the first render of a
+// (sequence, key) pair on a fresh server, "cached" hits the rendered
+// body, and "revalidated" is the 304 If-None-Match path.
+func BenchmarkSnapshotServe(b *testing.B) {
+	d := benchDataset(b)
+	eng := query.New(query.Config{
+		Epoch:    DefaultEpoch,
+		NumPots:  d.NumPots,
+		Registry: d.Registry,
+		Tagger:   analysis.Tagger(defaultTagger()),
+	})
+	eng.Ingest(d.Store.Records())
+	eng.Seal()
+	get := func(b *testing.B, h http.Handler, etag string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/v1/pots", nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h := query.NewServer(query.ServerConfig{Engine: eng}).Handler()
+			if rr := get(b, h, ""); rr.Code != http.StatusOK {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		h := query.NewServer(query.ServerConfig{Engine: eng}).Handler()
+		get(b, h, "") // warm the render cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rr := get(b, h, ""); rr.Code != http.StatusOK {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	})
+	b.Run("revalidated", func(b *testing.B) {
+		h := query.NewServer(query.ServerConfig{Engine: eng}).Handler()
+		etag := get(b, h, "").Header().Get("ETag")
+		if etag == "" {
+			b.Fatal("no ETag")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rr := get(b, h, etag); rr.Code != http.StatusNotModified {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	})
 }

@@ -3,19 +3,48 @@
 //
 // Usage:
 //
-//	analyze [-in dataset.jsonl] [-seed 1] [-pots 221] [-stride 30]
+//	analyze [-in dataset.jsonl] [-seed 1] [-pots 221] [-stride 30] [-tables table1,figure15]
 //
 // The seed must match the one the dataset was generated with so the
 // rebuilt geography registry agrees with the recorded client IPs.
+// -tables restricts output to the named report sections (and skips the
+// reduces the selection does not need); each selected block is
+// byte-identical to its block in the full report.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"honeyfarm"
 )
+
+// parseTables splits and validates a -tables argument against the
+// report's section names; empty selects everything.
+func parseTables(arg string) ([]string, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	valid := map[string]bool{}
+	for _, name := range honeyfarm.ReportTables() {
+		valid[name] = true
+	}
+	var tables []string
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return nil, fmt.Errorf("unknown table %q (valid: %s)", name, strings.Join(honeyfarm.ReportTables(), ", "))
+		}
+		tables = append(tables, name)
+	}
+	return tables, nil
+}
 
 func main() {
 	in := flag.String("in", "dataset.jsonl", "input dataset")
@@ -23,11 +52,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "registry seed used at generation time")
 	pots := flag.Int("pots", 221, "number of honeypots in the dataset")
 	stride := flag.Int("stride", 30, "time-series row stride in days")
+	tablesArg := flag.String("tables", "", "comma-separated report sections to render (default: all)")
 	flag.Parse()
+
+	tables, err := parseTables(*tablesArg)
+	if err != nil {
+		log.Fatalf("-tables: %v", err)
+	}
 
 	reg := honeyfarm.NewRegistry(*seed)
 	var d *honeyfarm.Dataset
-	var err error
 	if *cowrie {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
@@ -41,5 +75,5 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading dataset: %v", err)
 	}
-	d.WriteReport(os.Stdout, honeyfarm.ReportOptions{SeriesStride: *stride})
+	d.WriteReport(os.Stdout, honeyfarm.ReportOptions{SeriesStride: *stride, Tables: tables})
 }

@@ -68,7 +68,7 @@ func checkWAL(dir string, repair bool) bool {
 	}
 	printWAL(dir, rec)
 	if rec.Healthy() {
-		return true
+		return crossCheckWAL(dir, rec.Records())
 	}
 	if !repair {
 		fmt.Printf("%s: %d torn bytes (run with -repair to truncate)\n", dir, rec.TornBytes)
@@ -80,7 +80,34 @@ func checkWAL(dir string, repair bool) bool {
 		return false
 	}
 	fmt.Printf("%s: repaired; %d records survive\n", dir, repaired.Records())
-	return repaired.Healthy()
+	return repaired.Healthy() && crossCheckWAL(dir, repaired.Records())
+}
+
+// crossCheckWAL re-reads the log through wal.Iterator — the query
+// tailer's read path — and confirms it yields the record count the
+// recovery scan found, so the two read paths cannot drift silently.
+func crossCheckWAL(dir string, want int) bool {
+	it, err := wal.NewIterator(dir)
+	if err != nil {
+		fmt.Printf("%s: iterator: %v\n", dir, err)
+		return false
+	}
+	defer it.Close()
+	got := 0
+	for ok := true; ok; {
+		var b wal.Batch
+		b, ok, err = it.Next()
+		if err != nil {
+			fmt.Printf("%s: iterator read failed: %v\n", dir, err)
+			return false
+		}
+		got += len(b.Records)
+	}
+	if got != want {
+		fmt.Printf("%s: iterator read %d records, recovery scan found %d\n", dir, got, want)
+		return false
+	}
+	return true
 }
 
 // printWAL renders the per-segment frame/checksum statistics.

@@ -118,8 +118,9 @@ type Dataset struct {
 	Faults *FaultReport
 	tagger analysis.Tagger
 
-	perPot []analysis.PerHoneypot // lazily computed
-	hashes []analysis.HashStat
+	perPot  []analysis.PerHoneypot // lazily computed
+	hashes  []analysis.HashStat
+	clients []analysis.ClientStat
 }
 
 // Simulate generates a calibrated synthetic dataset.
@@ -192,6 +193,10 @@ type FarmConfig struct {
 	// persistent: every accepted record batch reaches the sink before it
 	// is kept in memory.
 	Durable DurableSink
+	// Tee, when non-nil, observes every accepted record batch in
+	// collector acceptance order — e.g. a query.Engine's Ingest method,
+	// so live aggregates track the farm without a WAL round-trip.
+	Tee func([]*SessionRecord)
 }
 
 // NewFarm builds (but does not start) a wire-level honeyfarm.
@@ -210,6 +215,7 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		DayLength:    cfg.DayLength,
 		DrainTimeout: cfg.DrainTimeout,
 		Durable:      cfg.Durable,
+		Tee:          cfg.Tee,
 	})
 }
 
@@ -317,6 +323,7 @@ func (d *Dataset) Merge(other *Dataset) {
 	d.Deployments = append(append([]geo.Deployment(nil), d.Deployments...), other.Deployments...)
 	d.perPot = nil
 	d.hashes = nil
+	d.clients = nil
 }
 
 // Sessions returns the number of records.
@@ -411,8 +418,15 @@ func (d *Dataset) DurationECDFs() [analysis.NumCategories]*stats.ECDF {
 }
 
 // ClientStats aggregates client IPs; cat -1 selects all categories.
+// The all-categories result (Figures 12–14) is computed once and cached.
 func (d *Dataset) ClientStats(cat int) []analysis.ClientStat {
-	return analysis.ComputeClientStats(d.Store, cat)
+	if cat != -1 {
+		return analysis.ComputeClientStats(d.Store, cat)
+	}
+	if d.clients == nil {
+		d.clients = analysis.ComputeClientStats(d.Store, -1)
+	}
+	return d.clients
 }
 
 // ClientCountries computes Figure 10/23; cats nil selects all.

@@ -23,36 +23,23 @@ type CategoryShares struct {
 	SSHTotal float64
 }
 
-// ComputeCategoryShares reproduces Table 1 from a dataset.
+// ComputeCategoryShares reproduces Table 1 from a dataset. The scan
+// fans out over record ranges into CategoryAccum partials — the same
+// fold internal/query runs incrementally.
 func ComputeCategoryShares(s *store.Store) CategoryShares {
-	var out CategoryShares
-	var counts [NumCategories]int
-	var sshCounts [NumCategories]int
-	ssh := 0
-	for _, r := range s.Records() {
-		c := Classify(r)
-		counts[c]++
-		if r.Protocol == honeypot.SSH {
-			sshCounts[c]++
-			ssh++
-		}
-	}
-	total := 0
-	for _, n := range counts {
-		total += n
-	}
-	out.Total = total
-	if total == 0 {
-		return out
-	}
-	for c := 0; c < int(NumCategories); c++ {
-		out.Overall[c] = float64(counts[c]) / float64(total)
-		if counts[c] > 0 {
-			out.SSHShareOfCategory[c] = float64(sshCounts[c]) / float64(counts[c])
-		}
-	}
-	out.SSHTotal = float64(ssh) / float64(total)
-	return out
+	acc := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) *CategoryAccum {
+			a := new(CategoryAccum)
+			for _, r := range recs {
+				a.Add(r)
+			}
+			return a
+		},
+		func(dst, src *CategoryAccum) *CategoryAccum {
+			dst.Merge(src)
+			return dst
+		})
+	return acc.Finalize()
 }
 
 // Counted is a generic (value, count) pair for top-N tables.
@@ -139,59 +126,25 @@ type PerHoneypot struct {
 	Hashes   int // unique file hashes
 }
 
-// perPotAcc is one worker's per-honeypot partial aggregate.
-type perPotAcc struct {
-	sessions []int
-	clients  []map[string]struct{}
-	hashes   []map[string]struct{}
-}
-
 // ComputePerHoneypot returns per-honeypot totals indexed by honeypot ID.
 // numPots sizes the result; IDs outside [0, numPots) are ignored. The
-// scan fans out over record ranges; session counts sum and client/hash
-// sets union, so the reduce is order-insensitive.
+// scan fans out over record ranges into PotAccum partials; session
+// counts sum and client/hash sets union, so the reduce is
+// order-insensitive.
 func ComputePerHoneypot(s *store.Store, numPots int) []PerHoneypot {
 	acc := mapReduce(s.Records(),
-		func(recs []*honeypot.SessionRecord) *perPotAcc {
-			a := &perPotAcc{
-				sessions: make([]int, numPots),
-				clients:  make([]map[string]struct{}, numPots),
-				hashes:   make([]map[string]struct{}, numPots),
-			}
-			for i := 0; i < numPots; i++ {
-				a.clients[i] = make(map[string]struct{})
-				a.hashes[i] = make(map[string]struct{})
-			}
+		func(recs []*honeypot.SessionRecord) *PotAccum {
+			a := NewPotAccum(numPots)
 			for _, r := range recs {
-				id := r.HoneypotID
-				if id < 0 || id >= numPots {
-					continue
-				}
-				a.sessions[id]++
-				a.clients[id][r.ClientIP] = struct{}{}
-				for _, f := range r.Files {
-					a.hashes[id][f.Hash] = struct{}{}
-				}
+				a.Add(r)
 			}
 			return a
 		},
-		func(dst, src *perPotAcc) *perPotAcc {
-			for i := 0; i < numPots; i++ {
-				dst.sessions[i] += src.sessions[i]
-				unionInto(dst.clients[i], src.clients[i])
-				unionInto(dst.hashes[i], src.hashes[i])
-			}
+		func(dst, src *PotAccum) *PotAccum {
+			dst.Merge(src)
 			return dst
 		})
-	out := make([]PerHoneypot, numPots)
-	for i := range out {
-		out[i] = PerHoneypot{
-			Sessions: acc.sessions[i],
-			Clients:  len(acc.clients[i]),
-			Hashes:   len(acc.hashes[i]),
-		}
-	}
-	return out
+	return acc.Finalize()
 }
 
 // SessionRank returns the descending session-count curve of Figure 2.

@@ -34,7 +34,14 @@ type PotAvailability struct {
 // rep may be nil (a fault-free run): every pot then shows full
 // availability and zero drops. days must be positive.
 func ComputeAvailability(s *store.Store, rep *faults.Report, numPots, days int) []PotAvailability {
-	per := ComputePerHoneypot(s, numPots)
+	return AvailabilityFromPer(ComputePerHoneypot(s, numPots), rep, days)
+}
+
+// AvailabilityFromPer builds the availability table from an
+// already-computed per-honeypot table (a PotAccum finalize), so the
+// incremental query engine can derive it without a store.
+func AvailabilityFromPer(per []PerHoneypot, rep *faults.Report, days int) []PotAvailability {
+	numPots := len(per)
 	out := make([]PotAvailability, numPots)
 	for i := range out {
 		row := PotAvailability{Pot: i, Sessions: per[i].Sessions, Availability: 1}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"net/netip"
-	"sort"
 
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/honeypot"
@@ -47,54 +46,23 @@ type clientAcc struct {
 // ComputeClientStats aggregates every client IP. Pass cat = -1 for all
 // categories or a specific Category to restrict (for the per-category
 // ECDFs of Figures 12 and 13). The scan fans out over record ranges
-// with a union/sum reduce, and the result is sorted by IP — the map
-// iteration order of the old implementation leaked into the output and
-// broke the determinism contract.
+// into ClientAccum partials with a union/sum reduce, and the result is
+// sorted by IP — the map iteration order of the old implementation
+// leaked into the output and broke the determinism contract.
 func ComputeClientStats(s *store.Store, cat int) []ClientStat {
-	m := mapReduce(s.Records(),
-		func(recs []*honeypot.SessionRecord) map[string]*clientAcc {
-			part := make(map[string]*clientAcc)
+	acc := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) *ClientAccum {
+			a := NewClientAccum(cat)
 			for _, r := range recs {
-				c := Classify(r)
-				if cat >= 0 && c != Category(cat) {
-					continue
-				}
-				a := part[r.ClientIP]
-				if a == nil {
-					a = &clientAcc{pots: make(map[int]struct{}), days: make(map[int]struct{})}
-					part[r.ClientIP] = a
-				}
-				a.sessions++
-				a.pots[r.HoneypotID] = struct{}{}
-				a.days[s.Day(r.Start)] = struct{}{}
-				a.cats |= 1 << c
+				a.Add(r, s.Day(r.Start))
 			}
-			return part
+			return a
 		},
-		func(dst, src map[string]*clientAcc) map[string]*clientAcc {
-			for ip, sa := range src {
-				da := dst[ip]
-				if da == nil {
-					dst[ip] = sa
-					continue
-				}
-				da.sessions += sa.sessions
-				unionInto(da.pots, sa.pots)
-				unionInto(da.days, sa.days)
-				da.cats |= sa.cats
-			}
+		func(dst, src *ClientAccum) *ClientAccum {
+			dst.Merge(src)
 			return dst
 		})
-	out := make([]ClientStat, 0, len(m))
-	for ip, a := range m {
-		out = append(out, ClientStat{
-			IP: ip, Sessions: a.sessions,
-			Honeypots: len(a.pots), ActiveDays: len(a.days),
-			Categories: a.cats,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
-	return out
+	return acc.Finalize()
 }
 
 // HoneypotsPerClientECDF is Figure 12: the distribution of how many
@@ -153,45 +121,22 @@ func locate(reg *geo.Registry, ip string) (geo.Location, bool) {
 // ClientCountries is Figure 10/23: unique client IPs per country,
 // optionally restricted to a category set (nil means all). The result is
 // sorted descending by count (country name as tie-break). The scan fans
-// out over record ranges; registry lookups are pure reads, and the
-// per-country IP sets union in the reduce.
+// out over record ranges into CountryAccum partials; registry lookups
+// are pure reads, and the per-country IP sets union in the reduce.
 func ClientCountries(s *store.Store, reg *geo.Registry, cats map[Category]bool) []CountryCount {
-	perCountry := mapReduce(s.Records(),
-		func(recs []*honeypot.SessionRecord) map[string]map[string]struct{} {
-			part := make(map[string]map[string]struct{})
+	acc := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) *CountryAccum {
+			a := NewCountryAccum(reg, cats)
 			for _, r := range recs {
-				if cats != nil && !cats[Classify(r)] {
-					continue
-				}
-				loc, ok := locate(reg, r.ClientIP)
-				if !ok {
-					continue
-				}
-				set := part[loc.Country]
-				if set == nil {
-					set = make(map[string]struct{})
-					part[loc.Country] = set
-				}
-				set[r.ClientIP] = struct{}{}
+				a.Add(r)
 			}
-			return part
+			return a
 		},
-		func(dst, src map[string]map[string]struct{}) map[string]map[string]struct{} {
-			for country, set := range src {
-				if d := dst[country]; d != nil {
-					unionInto(d, set)
-				} else {
-					dst[country] = set
-				}
-			}
+		func(dst, src *CountryAccum) *CountryAccum {
+			dst.Merge(src)
 			return dst
 		})
-	out := make([]CountryCount, 0, len(perCountry))
-	for c, set := range perCountry {
-		out = append(out, CountryCount{Country: c, Clients: len(set)})
-	}
-	sortCountryCounts(out)
-	return out
+	return acc.Finalize()
 }
 
 func sortCountryCounts(cc []CountryCount) {

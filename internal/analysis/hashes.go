@@ -38,89 +38,23 @@ type hashAcc struct {
 
 // ComputeHashStats scans the dataset once and aggregates every hash.
 // tag may be nil (tags become "unknown"). The scan fans out over record
-// ranges — counts sum, sets union, first/last days min/max in the
-// reduce — and the output sort by hash pins the order.
+// ranges into HashAccum partials — counts sum, sets union, first/last
+// days min/max in the reduce — and the output sort by hash pins the
+// order.
 func ComputeHashStats(s *store.Store, tag Tagger) []HashStat {
-	m := mapReduce(s.Records(),
-		func(recs []*honeypot.SessionRecord) map[string]*hashAcc {
-			part := make(map[string]*hashAcc)
+	acc := mapReduce(s.Records(),
+		func(recs []*honeypot.SessionRecord) *HashAccum {
+			a := NewHashAccum()
 			for _, r := range recs {
-				if len(r.Files) == 0 {
-					continue
-				}
-				day := s.Day(r.Start)
-				// A session may touch the same hash via several file events;
-				// count the session once per distinct hash.
-				seen := make(map[string]struct{}, len(r.Files))
-				for _, f := range r.Files {
-					if _, dup := seen[f.Hash]; dup {
-						continue
-					}
-					seen[f.Hash] = struct{}{}
-					a := part[f.Hash]
-					if a == nil {
-						a = &hashAcc{
-							ips:   make(map[string]struct{}),
-							days:  make(map[int]struct{}),
-							pots:  make(map[int]struct{}),
-							first: day,
-							last:  day,
-						}
-						part[f.Hash] = a
-					}
-					a.sessions++
-					a.ips[r.ClientIP] = struct{}{}
-					a.days[day] = struct{}{}
-					a.pots[r.HoneypotID] = struct{}{}
-					if day < a.first {
-						a.first = day
-					}
-					if day > a.last {
-						a.last = day
-					}
-				}
+				a.Add(r, s.Day(r.Start))
 			}
-			return part
+			return a
 		},
-		func(dst, src map[string]*hashAcc) map[string]*hashAcc {
-			for h, sa := range src {
-				da := dst[h]
-				if da == nil {
-					dst[h] = sa
-					continue
-				}
-				da.sessions += sa.sessions
-				unionInto(da.ips, sa.ips)
-				unionInto(da.days, sa.days)
-				unionInto(da.pots, sa.pots)
-				if sa.first < da.first {
-					da.first = sa.first
-				}
-				if sa.last > da.last {
-					da.last = sa.last
-				}
-			}
+		func(dst, src *HashAccum) *HashAccum {
+			dst.Merge(src)
 			return dst
 		})
-	out := make([]HashStat, 0, len(m))
-	for h, a := range m {
-		hs := HashStat{
-			Hash:      h,
-			Sessions:  a.sessions,
-			ClientIPs: len(a.ips),
-			Days:      len(a.days),
-			Honeypots: len(a.pots),
-			FirstDay:  a.first,
-			LastDay:   a.last,
-			Tag:       "unknown",
-		}
-		if tag != nil {
-			hs.Tag = tag(h)
-		}
-		out = append(out, hs)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
-	return out
+	return acc.Finalize(tag)
 }
 
 // SortHashStats orders a copy of hs by the requested key, descending,

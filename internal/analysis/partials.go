@@ -1,0 +1,339 @@
+package analysis
+
+// Mergeable partial aggregates. Each accumulator is a pure fold over
+// session records — sums, set unions, min/max and bitmask-or — with a
+// deterministic Finalize that sorts every map-keyed output. The batch
+// functions in this package run them under mapReduce; internal/query's
+// incremental engine feeds them record batches as the farm runs and
+// materializes snapshots from the same Finalize calls. Because both
+// paths fold the same operations and finalize identically, an
+// incremental snapshot over the first N records of a stream is
+// byte-identical (after JSON encoding) to the batch computation over
+// those records — the equivalence the live query engine pins with a
+// property test.
+
+import (
+	"sort"
+
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
+)
+
+// CategoryAccum accumulates Table 1's category × protocol counts.
+type CategoryAccum struct {
+	Counts    [NumCategories]int
+	SSHCounts [NumCategories]int
+	SSH       int
+}
+
+// Add folds one record in.
+func (a *CategoryAccum) Add(r *honeypot.SessionRecord) {
+	c := Classify(r)
+	a.Counts[c]++
+	if r.Protocol == honeypot.SSH {
+		a.SSHCounts[c]++
+		a.SSH++
+	}
+}
+
+// Merge folds another accumulator in.
+func (a *CategoryAccum) Merge(b *CategoryAccum) {
+	for c := 0; c < int(NumCategories); c++ {
+		a.Counts[c] += b.Counts[c]
+		a.SSHCounts[c] += b.SSHCounts[c]
+	}
+	a.SSH += b.SSH
+}
+
+// Finalize renders the accumulated counts as Table 1's shares.
+func (a *CategoryAccum) Finalize() CategoryShares {
+	var out CategoryShares
+	total := 0
+	for _, n := range a.Counts {
+		total += n
+	}
+	out.Total = total
+	if total == 0 {
+		return out
+	}
+	for c := 0; c < int(NumCategories); c++ {
+		out.Overall[c] = float64(a.Counts[c]) / float64(total)
+		if a.Counts[c] > 0 {
+			out.SSHShareOfCategory[c] = float64(a.SSHCounts[c]) / float64(a.Counts[c])
+		}
+	}
+	out.SSHTotal = float64(a.SSH) / float64(total)
+	return out
+}
+
+// PotAccum accumulates per-honeypot totals (Figures 2, 14, 18, 19).
+// IDs outside [0, numPots) are ignored.
+type PotAccum struct {
+	sessions []int
+	clients  []map[string]struct{}
+	hashes   []map[string]struct{}
+}
+
+// NewPotAccum creates an accumulator sized for numPots honeypots.
+func NewPotAccum(numPots int) *PotAccum {
+	a := &PotAccum{
+		sessions: make([]int, numPots),
+		clients:  make([]map[string]struct{}, numPots),
+		hashes:   make([]map[string]struct{}, numPots),
+	}
+	for i := 0; i < numPots; i++ {
+		a.clients[i] = make(map[string]struct{})
+		a.hashes[i] = make(map[string]struct{})
+	}
+	return a
+}
+
+// Add folds one record in.
+func (a *PotAccum) Add(r *honeypot.SessionRecord) {
+	id := r.HoneypotID
+	if id < 0 || id >= len(a.sessions) {
+		return
+	}
+	a.sessions[id]++
+	a.clients[id][r.ClientIP] = struct{}{}
+	for _, f := range r.Files {
+		a.hashes[id][f.Hash] = struct{}{}
+	}
+}
+
+// Merge folds another accumulator (of the same size) in.
+func (a *PotAccum) Merge(b *PotAccum) {
+	for i := range a.sessions {
+		a.sessions[i] += b.sessions[i]
+		unionInto(a.clients[i], b.clients[i])
+		unionInto(a.hashes[i], b.hashes[i])
+	}
+}
+
+// Finalize renders the per-honeypot table.
+func (a *PotAccum) Finalize() []PerHoneypot {
+	out := make([]PerHoneypot, len(a.sessions))
+	for i := range out {
+		out[i] = PerHoneypot{
+			Sessions: a.sessions[i],
+			Clients:  len(a.clients[i]),
+			Hashes:   len(a.hashes[i]),
+		}
+	}
+	return out
+}
+
+// ClientAccum accumulates per-client-IP stats. cat restricts to one
+// category (-1 for all), mirroring ComputeClientStats.
+type ClientAccum struct {
+	cat int
+	m   map[string]*clientAcc
+}
+
+// NewClientAccum creates a client accumulator; pass cat = -1 for all
+// categories.
+func NewClientAccum(cat int) *ClientAccum {
+	return &ClientAccum{cat: cat, m: make(map[string]*clientAcc)}
+}
+
+// Add folds one record in. day is the record's day bucket (store.Day).
+func (a *ClientAccum) Add(r *honeypot.SessionRecord, day int) {
+	c := Classify(r)
+	if a.cat >= 0 && c != Category(a.cat) {
+		return
+	}
+	acc := a.m[r.ClientIP]
+	if acc == nil {
+		acc = &clientAcc{pots: make(map[int]struct{}), days: make(map[int]struct{})}
+		a.m[r.ClientIP] = acc
+	}
+	acc.sessions++
+	acc.pots[r.HoneypotID] = struct{}{}
+	acc.days[day] = struct{}{}
+	acc.cats |= 1 << c
+}
+
+// Merge folds another accumulator in. The source accumulator's entries
+// may be adopted by reference; do not reuse it afterwards.
+func (a *ClientAccum) Merge(b *ClientAccum) {
+	for ip, sa := range b.m {
+		da := a.m[ip]
+		if da == nil {
+			a.m[ip] = sa
+			continue
+		}
+		da.sessions += sa.sessions
+		unionInto(da.pots, sa.pots)
+		unionInto(da.days, sa.days)
+		da.cats |= sa.cats
+	}
+}
+
+// Len returns the number of distinct client IPs accumulated.
+func (a *ClientAccum) Len() int { return len(a.m) }
+
+// Finalize renders the per-client table, sorted by IP.
+func (a *ClientAccum) Finalize() []ClientStat {
+	out := make([]ClientStat, 0, len(a.m))
+	for ip, acc := range a.m {
+		out = append(out, ClientStat{
+			IP: ip, Sessions: acc.sessions,
+			Honeypots: len(acc.pots), ActiveDays: len(acc.days),
+			Categories: acc.cats,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
+// CountryAccum accumulates unique client IPs per country (Figure
+// 10/23). cats nil selects all categories.
+type CountryAccum struct {
+	reg  *geo.Registry
+	cats map[Category]bool
+	m    map[string]map[string]struct{}
+}
+
+// NewCountryAccum creates a country accumulator over the registry.
+func NewCountryAccum(reg *geo.Registry, cats map[Category]bool) *CountryAccum {
+	return &CountryAccum{reg: reg, cats: cats, m: make(map[string]map[string]struct{})}
+}
+
+// Add folds one record in; unparseable or unallocated IPs are skipped.
+func (a *CountryAccum) Add(r *honeypot.SessionRecord) {
+	if a.cats != nil && !a.cats[Classify(r)] {
+		return
+	}
+	loc, ok := locate(a.reg, r.ClientIP)
+	if !ok {
+		return
+	}
+	set := a.m[loc.Country]
+	if set == nil {
+		set = make(map[string]struct{})
+		a.m[loc.Country] = set
+	}
+	set[r.ClientIP] = struct{}{}
+}
+
+// Merge folds another accumulator in. The source accumulator's sets may
+// be adopted by reference; do not reuse it afterwards.
+func (a *CountryAccum) Merge(b *CountryAccum) {
+	for country, set := range b.m {
+		if d := a.m[country]; d != nil {
+			unionInto(d, set)
+		} else {
+			a.m[country] = set
+		}
+	}
+}
+
+// Len returns the number of countries with at least one client.
+func (a *CountryAccum) Len() int { return len(a.m) }
+
+// Finalize renders the country table, sorted descending by client count
+// with the country code as tie-break.
+func (a *CountryAccum) Finalize() []CountryCount {
+	out := make([]CountryCount, 0, len(a.m))
+	for c, set := range a.m {
+		out = append(out, CountryCount{Country: c, Clients: len(set)})
+	}
+	sortCountryCounts(out)
+	return out
+}
+
+// HashAccum accumulates per-file-hash stats (Tables 4–6).
+type HashAccum struct {
+	m map[string]*hashAcc
+}
+
+// NewHashAccum creates a hash accumulator.
+func NewHashAccum() *HashAccum {
+	return &HashAccum{m: make(map[string]*hashAcc)}
+}
+
+// Add folds one record in. day is the record's day bucket. A session
+// touching the same hash via several file events counts once per
+// distinct hash, matching the batch scan.
+func (a *HashAccum) Add(r *honeypot.SessionRecord, day int) {
+	if len(r.Files) == 0 {
+		return
+	}
+	seen := make(map[string]struct{}, len(r.Files))
+	for _, f := range r.Files {
+		if _, dup := seen[f.Hash]; dup {
+			continue
+		}
+		seen[f.Hash] = struct{}{}
+		acc := a.m[f.Hash]
+		if acc == nil {
+			acc = &hashAcc{
+				ips:   make(map[string]struct{}),
+				days:  make(map[int]struct{}),
+				pots:  make(map[int]struct{}),
+				first: day,
+				last:  day,
+			}
+			a.m[f.Hash] = acc
+		}
+		acc.sessions++
+		acc.ips[r.ClientIP] = struct{}{}
+		acc.days[day] = struct{}{}
+		acc.pots[r.HoneypotID] = struct{}{}
+		if day < acc.first {
+			acc.first = day
+		}
+		if day > acc.last {
+			acc.last = day
+		}
+	}
+}
+
+// Merge folds another accumulator in. The source accumulator's entries
+// may be adopted by reference; do not reuse it afterwards.
+func (a *HashAccum) Merge(b *HashAccum) {
+	for h, sa := range b.m {
+		da := a.m[h]
+		if da == nil {
+			a.m[h] = sa
+			continue
+		}
+		da.sessions += sa.sessions
+		unionInto(da.ips, sa.ips)
+		unionInto(da.days, sa.days)
+		unionInto(da.pots, sa.pots)
+		if sa.first < da.first {
+			da.first = sa.first
+		}
+		if sa.last > da.last {
+			da.last = sa.last
+		}
+	}
+}
+
+// Len returns the number of distinct hashes accumulated.
+func (a *HashAccum) Len() int { return len(a.m) }
+
+// Finalize renders the hash table, sorted by hash. tag may be nil (tags
+// become "unknown").
+func (a *HashAccum) Finalize(tag Tagger) []HashStat {
+	out := make([]HashStat, 0, len(a.m))
+	for h, acc := range a.m {
+		hs := HashStat{
+			Hash:      h,
+			Sessions:  acc.sessions,
+			ClientIPs: len(acc.ips),
+			Days:      len(acc.days),
+			Honeypots: len(acc.pots),
+			FirstDay:  acc.first,
+			LastDay:   acc.last,
+			Tag:       "unknown",
+		}
+		if tag != nil {
+			hs.Tag = tag(h)
+		}
+		out = append(out, hs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}

@@ -72,6 +72,11 @@ type Config struct {
 	// a crash of the collecting process loses at most the unsynced tail
 	// of the write-ahead log instead of the whole run.
 	Durable store.DurableSink
+	// Tee, when non-nil, observes every accepted record batch in
+	// collector acceptance order (see store.SetTee) — the in-process
+	// ingest hook for a live aggregation engine (internal/query). The
+	// callback runs on the accepting goroutine and must not block.
+	Tee func([]*honeypot.SessionRecord)
 }
 
 // Stats is a snapshot of the farm's operational counters.
@@ -183,6 +188,9 @@ func New(cfg Config) (*Farm, error) {
 	}
 	if cfg.Durable != nil {
 		f.collector.SetDurable(cfg.Durable)
+	}
+	if cfg.Tee != nil {
+		f.collector.SetTee(cfg.Tee)
 	}
 	for i, d := range deployments {
 		pot, err := honeypot.New(honeypot.Config{

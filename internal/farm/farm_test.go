@@ -1,11 +1,13 @@
 package farm
 
 import (
+	"encoding/json"
 	"io"
 	"testing"
 	"time"
 
 	"honeyfarm/internal/geo"
+	"honeyfarm/internal/query"
 	"honeyfarm/internal/sshwire"
 	"honeyfarm/internal/telnet"
 )
@@ -165,5 +167,81 @@ func TestDeploymentGeoConsistency(t *testing.T) {
 			t.Errorf("honeypot %d: deployment says %s/AS%d, registry says %s/AS%d",
 				d.ID, d.Country, d.ASN, loc.Country, loc.ASN)
 		}
+	}
+}
+
+// TestFarmTeeFeedsQueryEngine wires a live aggregation engine into the
+// farm via Config.Tee: wire-level sessions reach the engine in
+// collector acceptance order, so its sealed snapshot is byte-identical
+// to one fed the collector's records directly.
+func TestFarmTeeFeedsQueryEngine(t *testing.T) {
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	mk := func() *query.Engine {
+		return query.New(query.Config{
+			Epoch:    time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC),
+			NumPots:  8,
+			Registry: reg,
+		})
+	}
+	eng := mk()
+	f, err := New(Config{
+		Seed:      1,
+		NumPots:   8,
+		NumASes:   6,
+		Countries: []string{"US", "SG", "DE", "JP", "BR", "ZA"},
+		Registry:  reg,
+		Tee:       eng.Ingest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		nc, err := f.Fabric().Dial("203.0.113.9", f.SSHAddr(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "hunter2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := cc.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sshwire.RequestExec(sess, "id"); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.ReadAll(sess)
+		cc.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Collector().Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.Stop()
+
+	recs := f.Collector().Records()
+	if len(recs) != 3 {
+		t.Fatalf("collector records = %d, want 3", len(recs))
+	}
+	got := eng.Seal()
+	if got.Seq != uint64(len(recs)) {
+		t.Fatalf("tee-fed engine seq = %d, want %d", got.Seq, len(recs))
+	}
+	direct := mk()
+	direct.Ingest(recs)
+	a, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(direct.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("tee-fed snapshot diverges from direct ingest\ntee:    %.200s\ndirect: %.200s", a, b)
 	}
 }

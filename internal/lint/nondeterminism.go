@@ -19,6 +19,7 @@ var DeterministicPkgSuffixes = []string{
 	"internal/faults",
 	"internal/geo",
 	"internal/malware",
+	"internal/query",
 	"internal/report",
 	"internal/scenario",
 	"internal/stats",

@@ -1,0 +1,270 @@
+package query_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"honeyfarm"
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/malware"
+	"honeyfarm/internal/query"
+	"honeyfarm/internal/store"
+	"honeyfarm/internal/wal"
+)
+
+// batchSnapshot runs the batch pipeline (internal/analysis over a
+// freshly built store) on a record prefix and shapes the results as a
+// Snapshot — the reference the incremental engine must match byte for
+// byte after JSON encoding.
+func batchSnapshot(recs []*honeypot.SessionRecord, epoch time.Time, numPots int, reg *geo.Registry, tag analysis.Tagger) *query.Snapshot {
+	st := store.New(epoch)
+	st.AddBatch(recs)
+	days := st.NumDays()
+	return &query.Snapshot{
+		Seq:          uint64(len(recs)),
+		Days:         days,
+		Summary:      analysis.ComputeCategoryShares(st),
+		Pots:         analysis.ComputePerHoneypot(st, numPots),
+		Clients:      analysis.ComputeClientStats(st, -1),
+		Countries:    analysis.ClientCountries(st, reg, nil),
+		Hashes:       analysis.ComputeHashStats(st, tag),
+		Availability: analysis.ComputeAvailability(st, nil, numPots, days),
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapshotEquivalence is the tentpole property: a snapshot sealed
+// at sequence N is byte-identical (after JSON encoding) to the batch
+// pipeline over the first N records of the ingest stream — for random
+// batch sizes, random seal points, and different generation worker
+// counts.
+func TestSnapshotEquivalence(t *testing.T) {
+	const numPots = 37
+	tag := analysis.Tagger(malware.NewTagger(nil))
+	for _, workers := range []int{1, 7} {
+		d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+			Seed: 11, TotalSessions: 5000, Days: 60, NumPots: numPots, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := d.Store.Records()
+		eng := query.New(query.Config{
+			Epoch: honeyfarm.DefaultEpoch, NumPots: numPots,
+			Registry: d.Registry, Tagger: tag,
+		})
+		rng := rand.New(rand.NewSource(int64(workers)))
+		var seals []*query.Snapshot
+		for i := 0; i < len(recs); {
+			j := i + 1 + rng.Intn(400)
+			if j > len(recs) {
+				j = len(recs)
+			}
+			eng.Ingest(recs[i:j])
+			i = j
+			if rng.Intn(3) == 0 {
+				seals = append(seals, eng.Seal())
+			}
+		}
+		seals = append(seals, eng.Seal())
+
+		// Check the empty snapshot, a few random seals, and the final one.
+		picks := map[int]bool{0: true, len(seals) - 1: true}
+		for len(picks) < 4 && len(picks) < len(seals) {
+			picks[rng.Intn(len(seals))] = true
+		}
+		empty := query.New(query.Config{
+			Epoch: honeyfarm.DefaultEpoch, NumPots: numPots,
+			Registry: d.Registry, Tagger: tag,
+		}).Snapshot()
+		check := append([]*query.Snapshot{empty}, seals...)
+		for idx := range picks {
+			snap := check[idx]
+			want := batchSnapshot(recs[:snap.Seq], honeyfarm.DefaultEpoch, numPots, d.Registry, tag)
+			got, ref := mustJSON(t, snap), mustJSON(t, want)
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("workers=%d: snapshot at seq %d diverges from batch pipeline\nincremental: %.200s\nbatch:       %.200s",
+					workers, snap.Seq, got, ref)
+			}
+		}
+	}
+}
+
+// TestSnapshotCadence checks SnapshotEvery auto-sealing: the published
+// snapshot advances without explicit Seal calls, and the auto-sealed
+// view matches the batch pipeline at its own sequence.
+func TestSnapshotCadence(t *testing.T) {
+	const numPots = 9
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: 3, TotalSessions: 1200, Days: 20, NumPots: numPots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Store.Records()
+	tag := analysis.Tagger(malware.NewTagger(nil))
+	eng := query.New(query.Config{
+		Epoch: honeyfarm.DefaultEpoch, NumPots: numPots,
+		Registry: d.Registry, Tagger: tag, SnapshotEvery: 97,
+	})
+	for i := 0; i < len(recs); i += 50 {
+		j := i + 50
+		if j > len(recs) {
+			j = len(recs)
+		}
+		eng.Ingest(recs[i:j])
+	}
+	snap := eng.Snapshot()
+	if snap.Seq == 0 || snap.Seq == uint64(len(recs)) {
+		t.Fatalf("auto-seal published seq %d; expected an intermediate sequence (total %d)", snap.Seq, len(recs))
+	}
+	want := batchSnapshot(recs[:snap.Seq], honeyfarm.DefaultEpoch, numPots, d.Registry, tag)
+	if !bytes.Equal(mustJSON(t, snap), mustJSON(t, want)) {
+		t.Fatalf("auto-sealed snapshot at seq %d diverges from batch pipeline", snap.Seq)
+	}
+}
+
+// TestSnapshotIsolation: a snapshot held across further ingest must not
+// change — its JSON encoding is stable while the engine moves on.
+func TestSnapshotIsolation(t *testing.T) {
+	const numPots = 5
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: 5, TotalSessions: 600, Days: 10, NumPots: numPots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Store.Records()
+	eng := query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: numPots, Registry: d.Registry})
+	eng.Ingest(recs[:300])
+	held := eng.Seal()
+	before := mustJSON(t, held)
+	eng.Ingest(recs[300:])
+	eng.Seal()
+	if !bytes.Equal(before, mustJSON(t, held)) {
+		t.Fatal("held snapshot mutated by later ingest")
+	}
+	if cur := eng.Snapshot(); cur.Seq != uint64(len(recs)) {
+		t.Fatalf("current snapshot seq = %d, want %d", cur.Seq, len(recs))
+	}
+}
+
+// waitUntil polls cond (bounded) with a short sleep; fails the test on
+// timeout.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFollowerTailsWAL drives the full tail path: durable batches
+// already in the WAL are drained first, then batches appended while the
+// follower runs; the resulting snapshot equals a direct-ingest engine's.
+func TestFollowerTailsWAL(t *testing.T) {
+	const numPots = 7
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: 9, TotalSessions: 900, Days: 15, NumPots: numPots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Store.Records()
+	dir := t.TempDir()
+	// Tiny segments so the tail crosses sealed-segment boundaries.
+	l, _, err := wal.Open(dir, wal.Options{Epoch: honeyfarm.DefaultEpoch, SegmentBytes: 8 << 10, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(recs) / 2
+	for i := 0; i < half; i += 60 {
+		j := i + 60
+		if j > half {
+			j = half
+		}
+		if err := l.Append(recs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mk := func() *query.Engine {
+		return query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: numPots, Registry: d.Registry})
+	}
+	eng := mk()
+	f, err := query.NewFollower(eng, dir, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	waitUntil(t, "pre-existing batches", func() bool { return eng.Snapshot().Seq == uint64(half) })
+
+	for i := half; i < len(recs); i += 60 {
+		j := i + 60
+		if j > len(recs) {
+			j = len(recs)
+		}
+		if err := l.Append(recs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "live-appended batches", func() bool { return eng.Snapshot().Seq == uint64(len(recs)) })
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := mk()
+	direct.Ingest(recs)
+	if !bytes.Equal(mustJSON(t, eng.Snapshot()), mustJSON(t, direct.Seal())) {
+		t.Fatal("followed snapshot diverges from direct ingest")
+	}
+}
+
+// TestFollowerEpochMismatch: a WAL recorded under a different epoch
+// must surface as a follower error, not silently mis-bucketed days.
+func TestFollowerEpochMismatch(t *testing.T) {
+	dir := t.TempDir()
+	other := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	l, _, err := wal.Open(dir, wal.Options{Epoch: other, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]*honeypot.SessionRecord{{ID: 1, Start: other, End: other}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng := query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: 1})
+	f, err := query.NewFollower(eng, dir, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	waitUntil(t, "epoch mismatch error", func() bool { return f.Err() != nil })
+	if err := f.Stop(); err == nil {
+		t.Fatal("Stop returned nil after an epoch mismatch")
+	}
+	if eng.Snapshot().Seq != 0 {
+		t.Fatalf("mismatched-epoch records were ingested (seq %d)", eng.Snapshot().Seq)
+	}
+}

@@ -1,0 +1,306 @@
+package query
+
+// The serving layer: a stdlib net/http JSON API over an Engine's
+// snapshots. Every data endpoint is a pure function of one immutable
+// snapshot, which buys the whole caching story:
+//
+//   - responses carry an ETag derived from the snapshot sequence and
+//     the request key, so If-None-Match revalidation costs nothing
+//     between seals (a 304 with no body);
+//   - response bodies are cached per (sequence, key) and rendered at
+//     most once — concurrent identical requests coalesce on a
+//     sync.Once instead of re-encoding the same snapshot N times;
+//   - a semaphore bounds in-flight rendering; waiting requests honor
+//     client cancellation.
+//
+// The handler never blocks ingest and ingest never blocks the handler:
+// both sides only touch the atomically published snapshot pointer.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"honeyfarm/internal/analysis"
+)
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Engine supplies snapshots. Required.
+	Engine *Engine
+	// Follower, when the engine is fed by a WAL tail, surfaces its
+	// position and terminal error in /v1/healthz. Optional.
+	Follower *Follower
+	// MaxInflight bounds concurrently rendered responses (default 64).
+	MaxInflight int
+	// ClientRows is the default (and maximum) row count for /v1/clients
+	// (default 100); ?limit= selects fewer.
+	ClientRows int
+}
+
+// Server renders an Engine's snapshots over HTTP.
+type Server struct {
+	engine     *Engine
+	follower   *Follower
+	sem        chan struct{}
+	clientRows int
+
+	mu       sync.Mutex
+	cacheSeq uint64
+	cache    map[string]*cacheEntry
+}
+
+// cacheEntry is one (sequence, key) response: cache and singleflight in
+// one — whoever arrives first renders, everyone else waits on the Once.
+type cacheEntry struct {
+	snap *Snapshot
+	once sync.Once
+	body []byte
+	err  error
+}
+
+// NewServer creates a server over the engine.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.ClientRows <= 0 {
+		cfg.ClientRows = 100
+	}
+	return &Server{
+		engine:     cfg.Engine,
+		follower:   cfg.Follower,
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		clientRows: cfg.ClientRows,
+		cache:      make(map[string]*cacheEntry),
+	}
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/summary", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSnapshot(w, r, "summary", func(snap *Snapshot) any {
+			return summaryResponse{
+				Seq: snap.Seq, Days: snap.Days,
+				Epoch:    s.engine.Epoch().Format(time.RFC3339),
+				Sessions: snap.Summary.Total,
+				Clients:  len(snap.Clients),
+				Hashes:   len(snap.Hashes),
+				Summary:  snap.Summary,
+			}
+		})
+	})
+	mux.HandleFunc("/v1/pots", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSnapshot(w, r, "pots", func(snap *Snapshot) any {
+			return potsResponse{Seq: snap.Seq, Pots: snap.Pots}
+		})
+	})
+	mux.HandleFunc("/v1/clients", func(w http.ResponseWriter, r *http.Request) {
+		limit, err := limitParam(r, s.clientRows)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.serveSnapshot(w, r, fmt.Sprintf("clients?limit=%d", limit), func(snap *Snapshot) any {
+			rows := snap.Clients
+			if len(rows) > limit {
+				rows = rows[:limit]
+			}
+			return clientsResponse{Seq: snap.Seq, Total: len(snap.Clients), Clients: rows}
+		})
+	})
+	mux.HandleFunc("/v1/countries", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSnapshot(w, r, "countries", func(snap *Snapshot) any {
+			return countriesResponse{Seq: snap.Seq, Countries: snap.Countries}
+		})
+	})
+	mux.HandleFunc("/v1/availability", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSnapshot(w, r, "availability", func(snap *Snapshot) any {
+			return availabilityResponse{
+				Seq: snap.Seq, Days: snap.Days,
+				TotalDropped: analysis.TotalDropped(snap.Availability),
+				Availability: snap.Availability,
+			}
+		})
+	})
+	mux.HandleFunc("/v1/healthz", s.serveHealthz)
+	return mux
+}
+
+// Response envelopes. The aggregate rows themselves serialize as their
+// analysis types — the exact encoding the equivalence property pins.
+type summaryResponse struct {
+	Seq      uint64                  `json:"seq"`
+	Days     int                     `json:"days"`
+	Epoch    string                  `json:"epoch"`
+	Sessions int                     `json:"sessions"`
+	Clients  int                     `json:"clients"`
+	Hashes   int                     `json:"hashes"`
+	Summary  analysis.CategoryShares `json:"summary"`
+}
+
+type potsResponse struct {
+	Seq  uint64                 `json:"seq"`
+	Pots []analysis.PerHoneypot `json:"pots"`
+}
+
+type clientsResponse struct {
+	Seq     uint64                `json:"seq"`
+	Total   int                   `json:"total"`
+	Clients []analysis.ClientStat `json:"clients"`
+}
+
+type countriesResponse struct {
+	Seq       uint64                  `json:"seq"`
+	Countries []analysis.CountryCount `json:"countries"`
+}
+
+type availabilityResponse struct {
+	Seq          uint64                     `json:"seq"`
+	Days         int                        `json:"days"`
+	TotalDropped int                        `json:"total_dropped"`
+	Availability []analysis.PotAvailability `json:"availability"`
+}
+
+type healthzResponse struct {
+	Status      string `json:"status"`
+	IngestedSeq uint64 `json:"ingested_seq"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	Days        int    `json:"days"`
+	WALSegment  uint64 `json:"wal_segment,omitempty"`
+	WALOffset   int64  `json:"wal_offset,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// limitParam parses ?limit= clamped to [0, max]; absent selects max.
+func limitParam(r *http.Request, max int) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return max, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid limit %q", raw)
+	}
+	if n > max {
+		n = max
+	}
+	return n, nil
+}
+
+// serveSnapshot renders one cacheable snapshot view: bounded
+// concurrency, ETag revalidation, per-(sequence,key) render coalescing.
+func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request, key string, build func(*Snapshot) any) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		http.Error(w, "canceled", http.StatusServiceUnavailable)
+		return
+	}
+	entry := s.entry(s.engine.Snapshot(), key)
+	etag := fmt.Sprintf("\"q%d-%s\"", entry.snap.Seq, key)
+	w.Header().Set("Cache-Control", "no-cache")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	entry.once.Do(func() {
+		entry.body, entry.err = json.Marshal(build(entry.snap))
+		if entry.err == nil {
+			entry.body = append(entry.body, '\n')
+		}
+	})
+	if entry.err != nil {
+		http.Error(w, "encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(entry.body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	if _, err := w.Write(entry.body); err != nil {
+		return // client went away mid-write; nothing to recover
+	}
+}
+
+// entry returns the render cache slot for (snap.Seq, key), pinning the
+// snapshot the first requester saw. The cache is cleared whenever a
+// newer sequence shows up, so it holds at most one generation (plus
+// stragglers already in flight).
+func (s *Server) entry(snap *Snapshot, key string) *cacheEntry {
+	full := fmt.Sprintf("%d|%s", snap.Seq, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Seq > s.cacheSeq {
+		s.cache = make(map[string]*cacheEntry)
+		s.cacheSeq = snap.Seq
+	}
+	e := s.cache[full]
+	if e == nil {
+		e = &cacheEntry{snap: snap}
+		s.cache[full] = e
+	}
+	return e
+}
+
+// etagMatches implements If-None-Match: a comma-separated candidate
+// list or "*". Weak validators compare by their opaque tail.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveHealthz reports liveness: never cached, never gated on the
+// render semaphore, and degraded (HTTP 503) once the follower hit a
+// terminal error.
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.engine.Snapshot()
+	resp := healthzResponse{
+		Status:      "ok",
+		IngestedSeq: s.engine.Seq(),
+		SnapshotSeq: snap.Seq,
+		Days:        snap.Days,
+	}
+	if s.follower != nil {
+		resp.WALSegment, resp.WALOffset = s.follower.Position()
+		if err := s.follower.Err(); err != nil {
+			resp.Status = "degraded"
+			resp.Error = err.Error()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, "encoding failed", http.StatusInternalServerError)
+		return
+	}
+	if _, err := w.Write(append(body, '\n')); err != nil {
+		return // client went away mid-write; nothing to recover
+	}
+}

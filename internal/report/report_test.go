@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -174,5 +175,66 @@ func TestDeploymentMatrix(t *testing.T) {
 	}
 	if !strings.Contains(s, "United States") || !strings.Contains(s, "Singapore") {
 		t.Error("country names missing")
+	}
+}
+
+// errWriter fails every write after n bytes succeed.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errors.New("sink full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestRenderEmptyInputs: every renderer must cope with an empty dataset
+// — zero rows, nil slices, zero totals — without panicking or dividing
+// by zero, still emitting its header so a report over an empty store is
+// readable rather than corrupt.
+func TestRenderEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"a", "b"}, nil)
+	CSV(&buf, []string{"x"}, nil)
+	Table1(&buf, analysis.CategoryShares{})
+	TopCounted(&buf, "Table 2", "password", nil)
+	HashTable(&buf, "Table 4", nil, 20)
+	RankSeries(&buf, "Figure 2", nil, 5)
+	BandSeries(&buf, "Figure 4", stats.Series{}, 1)
+	ECDFSeries(&buf, "Figure 7", stats.NewECDF(nil), 5)
+	CategoryTimeline(&buf, analysis.CategoryTimeline{}, 1)
+	Freshness(&buf, analysis.HashFreshness{}, 1)
+	Countries(&buf, "Figure 10", nil, 15)
+	Countries(&buf, "Figure 10", []analysis.CountryCount{{Country: "US", Clients: 0}}, 15)
+	RegionalDiversity(&buf, "Figure 16", analysis.RegionalDiversity{})
+	DeploymentMatrix(&buf, nil, nil)
+	Combos(&buf, nil)
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Figure 2", "(empty)", "0 honeypots, 0 countries, 0 ASes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty-input render missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("empty-input render produced NaN/Inf:\n%s", out)
+	}
+}
+
+// TestRenderToFailingWriter: renderers write best-effort — a sink that
+// errors mid-table (full disk, closed pipe) must not panic or loop.
+func TestRenderToFailingWriter(t *testing.T) {
+	hs := []analysis.HashStat{{Hash: "aa", Sessions: 1, ClientIPs: 1, Days: 1, Tag: "x", Honeypots: 1}}
+	for _, budget := range []int{0, 3, 64} {
+		w := &errWriter{n: budget}
+		Table1(w, analysis.CategoryShares{Total: 10})
+		HashTable(w, "Table 4", hs, 20)
+		RankSeries(w, "Figure 2", []float64{3, 2, 1}, 3)
+		Countries(w, "Figure 10", []analysis.CountryCount{{Country: "US", Clients: 2}}, 5)
 	}
 }

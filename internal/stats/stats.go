@@ -86,9 +86,9 @@ func (e *ECDF) Points(n int) []Point {
 	}
 	out := make([]Point, 0, n)
 	for i := 0; i < n; i++ {
-		idx := i * (m - 1) / (n - 1)
-		if n == 1 {
-			idx = m - 1
+		idx := m - 1
+		if n > 1 {
+			idx = i * (m - 1) / (n - 1)
 		}
 		out = append(out, Point{X: e.samples[idx], Y: float64(idx+1) / float64(m)})
 	}

@@ -299,3 +299,16 @@ func BenchmarkFreshnessWindow(b *testing.B) {
 		f.Advance(i, keys)
 	}
 }
+
+// TestECDFPointsSingleSample: a one-sample ECDF (e.g. a campaign tag
+// seen on a single day at small scale) must plot its one point instead
+// of dividing by zero.
+func TestECDFPointsSingleSample(t *testing.T) {
+	e := NewECDF([]float64{7})
+	for _, n := range []int{1, 3, 8} {
+		pts := e.Points(n)
+		if len(pts) != 1 || pts[0].X != 7 || pts[0].Y != 1 {
+			t.Fatalf("Points(%d) = %+v, want one (7, 1) point", n, pts)
+		}
+	}
+}

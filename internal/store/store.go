@@ -40,6 +40,19 @@ type Store struct {
 	// so a failing disk degrades durability, never the dataset.
 	sink    DurableSink
 	sinkErr error
+	// tee observes every accepted batch after it enters memory — the
+	// live-ingest hook the incremental query engine attaches to. Calls
+	// are serialized in acceptance order and must not mutate the records.
+	tee func([]*honeypot.SessionRecord)
+}
+
+// SetTee attaches a batch observer: every Add/AddBatch forwards the
+// accepted records to tee after they enter memory, in acceptance order.
+// The observer must treat the records as immutable. Pass nil to detach.
+func (s *Store) SetTee(tee func([]*honeypot.SessionRecord)) {
+	s.mu.Lock()
+	s.tee = tee
+	s.mu.Unlock()
 }
 
 // SetDurable attaches a write-ahead sink. Call before records flow;
@@ -78,18 +91,31 @@ func (s *Store) persist(recs []*honeypot.SessionRecord) {
 // New creates a store whose day buckets are counted from epoch (the
 // observation period's first day, e.g. the paper's 2021-12-01).
 func New(epoch time.Time) *Store {
-	return &Store{epoch: normalizeEpoch(epoch), maxDay: -1}
+	return &Store{epoch: NormalizeEpoch(epoch), maxDay: -1}
 }
 
-// normalizeEpoch aligns the epoch to its own zone's midnight and
+// NormalizeEpoch aligns the epoch to its own zone's midnight and
 // converts the result to UTC so the serialized form is canonical.
 // Truncate(24h) is NOT equivalent: it operates on absolute time and
 // lands on UTC midnights, so a non-UTC epoch was silently shifted off
 // that zone's midnight — moving every day-bucket boundary by the zone
-// offset.
-func normalizeEpoch(epoch time.Time) time.Time {
+// offset. Exported so stores, WAL metadata and the incremental query
+// engine all bucket days from the identical instant.
+func NormalizeEpoch(epoch time.Time) time.Time {
 	y, m, d := epoch.Date()
 	return time.Date(y, m, d, 0, 0, 0, 0, epoch.Location()).UTC()
+}
+
+// DayOf returns the day bucket of t relative to a NormalizeEpoch'd
+// epoch, flooring pre-epoch timestamps to negative days. Store.Day and
+// the query engine share this one definition.
+func DayOf(epoch, t time.Time) int {
+	d := t.Sub(epoch)
+	day := int(d / (24 * time.Hour))
+	if d < 0 && d%(24*time.Hour) != 0 {
+		day-- // floor division for pre-epoch timestamps
+	}
+	return day
 }
 
 // Epoch returns the observation period start.
@@ -97,9 +123,17 @@ func (s *Store) Epoch() time.Time { return s.epoch }
 
 // Add appends one record, persisting it first in durable sink mode.
 func (s *Store) Add(rec *honeypot.SessionRecord) {
-	s.persist([]*honeypot.SessionRecord{rec})
+	batch := []*honeypot.SessionRecord{rec}
+	s.persist(batch)
 	s.mu.Lock()
 	s.recs = append(s.recs, rec)
+	tee := s.tee
+	if tee != nil {
+		// Called under the lock so tee observes batches in exactly the
+		// order they entered memory — the prefix-consistency the query
+		// engine's snapshots rely on.
+		tee(batch)
+	}
 	s.mu.Unlock()
 }
 
@@ -109,6 +143,10 @@ func (s *Store) AddBatch(recs []*honeypot.SessionRecord) {
 	s.persist(recs)
 	s.mu.Lock()
 	s.recs = append(s.recs, recs...)
+	tee := s.tee
+	if tee != nil {
+		tee(recs)
+	}
 	s.mu.Unlock()
 }
 
@@ -129,14 +167,7 @@ func (s *Store) Records() []*honeypot.SessionRecord {
 
 // Day returns the day bucket of a timestamp relative to the epoch.
 // Timestamps before the epoch yield negative days.
-func (s *Store) Day(t time.Time) int {
-	d := t.Sub(s.epoch)
-	day := int(d / (24 * time.Hour))
-	if d < 0 && d%(24*time.Hour) != 0 {
-		day-- // floor division for pre-epoch timestamps
-	}
-	return day
-}
+func (s *Store) Day(t time.Time) int { return DayOf(s.epoch, t) }
 
 // NumDays returns one past the highest day bucket present. Only records
 // appended since the previous call are scanned; the running maximum is
@@ -182,7 +213,7 @@ type Builder struct {
 // normalized exactly as New does.
 func NewBuilder(epoch time.Time, shards int) *Builder {
 	return &Builder{
-		epoch:  normalizeEpoch(epoch),
+		epoch:  NormalizeEpoch(epoch),
 		shards: make([][]*honeypot.SessionRecord, shards),
 	}
 }

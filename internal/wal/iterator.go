@@ -1,0 +1,201 @@
+package wal
+
+// Iterator is the shared read path over a WAL directory: fsck uses it
+// to cross-check the recovery scan frame by frame, and the query
+// engine's follower uses it to tail a log that is still being written.
+// Unlike scan, which reads whole segments at once, an Iterator holds a
+// byte position and yields one batch per call, so a caller can drain
+// everything durable today and pick up new frames as the writer appends
+// them.
+//
+// The torn-tail rule shapes the cursor's movement. A segment is sealed
+// — fsynced and closed — before its successor is created, so:
+//
+//   - on the final segment, an incomplete frame is a pending tail: the
+//     writer may still be mid-append, and Next reports "caught up"
+//     rather than an error;
+//   - once a successor exists, the current segment is sealed, and any
+//     leftover bytes that never became a frame are corruption.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Iterator reads a WAL directory batch by batch in log order. It is
+// not safe for concurrent use; it is safe to use while a Log appends
+// to the same directory from this or another process.
+type Iterator struct {
+	dir     string
+	epoch   time.Time // established by the first meta frame read
+	seq     uint64    // current segment sequence (0 until one is found)
+	off     int64     // consumed byte offset within the current segment
+	f       *os.File  // current segment, nil before open / after advance
+	buf     []byte    // bytes read beyond off, not yet consumed
+	sawMeta bool      // current segment's meta frame has been consumed
+}
+
+// maxStepsPerNext caps the internal frame/segment advance loop of one
+// Next call. Each step consumes a frame or advances a segment, so the
+// cap is unreachable outside pathological inputs; hitting it reports
+// "caught up" and the caller's retry resumes from the saved position.
+const maxStepsPerNext = 1 << 16
+
+// NewIterator positions an iterator at the start of the WAL in dir.
+// The directory may be empty or not yet created: Next reports "caught
+// up" until a writer produces the first segment.
+func NewIterator(dir string) (*Iterator, error) {
+	if info, err := os.Stat(dir); err == nil && !info.IsDir() {
+		return nil, fmt.Errorf("wal: %s is not a directory", dir)
+	}
+	return &Iterator{dir: dir}, nil
+}
+
+// Next returns the next intact batch in log order. ok is false with a
+// nil error when the iterator is caught up: every durable frame has
+// been consumed and the bytes past the cursor (if any) do not yet form
+// a complete frame on the final segment — call Next again after the
+// writer makes progress. A non-nil error is permanent: corruption
+// (damaged frames on a sealed segment, format/sequence/epoch
+// mismatches) or an I/O failure.
+func (it *Iterator) Next() (Batch, bool, error) {
+	for step := 0; step < maxStepsPerNext; step++ {
+		if it.f == nil {
+			opened, err := it.open()
+			if err != nil || !opened {
+				return Batch{}, false, err
+			}
+		}
+		payload, n, ok := nextFrame(it.buf, 0)
+		if !ok {
+			// Re-read the unconsumed tail: a frame may have completed since
+			// the last poll. Reading from it.off (not extending buf) also
+			// recovers if a restarted writer truncated a torn tail we had
+			// buffered — consumed offsets are always ≤ the truncation point.
+			if err := it.refill(); err != nil {
+				return Batch{}, false, err
+			}
+			payload, n, ok = nextFrame(it.buf, 0)
+		}
+		if !ok {
+			sealed, err := it.successorExists()
+			if err != nil {
+				return Batch{}, false, err
+			}
+			if !sealed {
+				return Batch{}, false, nil // pending tail: caught up for now
+			}
+			if len(it.buf) > 0 {
+				return Batch{}, false, fmt.Errorf("wal: segment %s has a damaged frame %d bytes in but is sealed", segmentName(it.seq), it.off)
+			}
+			if err := it.f.Close(); err != nil {
+				return Batch{}, false, fmt.Errorf("wal: closing segment: %w", err)
+			}
+			it.f, it.seq, it.off, it.sawMeta = nil, it.seq+1, 0, false
+			continue
+		}
+		it.buf = it.buf[n:]
+		it.off += n
+		if !it.sawMeta {
+			epoch, intact, err := decodeMeta(payload, segmentName(it.seq), it.seq, it.epoch)
+			if err != nil {
+				return Batch{}, false, err
+			}
+			if !intact {
+				// The frame passed its CRC, so this is not a tear.
+				return Batch{}, false, fmt.Errorf("wal: segment %s does not start with a meta frame", segmentName(it.seq))
+			}
+			it.epoch = epoch
+			it.sawMeta = true
+			continue
+		}
+		b, intact := decodeBatch(payload)
+		if !intact {
+			return Batch{}, false, fmt.Errorf("wal: segment %s has an undecodable frame at offset %d", segmentName(it.seq), it.off-n)
+		}
+		return b, true, nil
+	}
+	return Batch{}, false, nil // step cap: resume from the saved position
+}
+
+// open opens the segment the cursor points at: the lowest sequence
+// present when none has been read yet, the successor otherwise. opened
+// is false (nil error) when that segment does not exist yet.
+func (it *Iterator) open() (opened bool, err error) {
+	seq := it.seq
+	if seq == 0 {
+		segs, err := listSegments(it.dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return false, nil // directory not created yet
+			}
+			return false, fmt.Errorf("wal: listing %s: %w", it.dir, err)
+		}
+		if len(segs) == 0 {
+			return false, nil
+		}
+		seq = segs[0].Seq
+	}
+	f, err := os.Open(filepath.Join(it.dir, segmentName(seq)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	it.f, it.seq, it.off, it.buf, it.sawMeta = f, seq, 0, nil, false
+	return true, nil
+}
+
+// refill replaces buf with every byte from the consumed offset to EOF.
+func (it *Iterator) refill() error {
+	if _, err := it.f.Seek(it.off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking segment: %w", err)
+	}
+	data, err := io.ReadAll(it.f)
+	if err != nil {
+		return fmt.Errorf("wal: reading segment: %w", err)
+	}
+	it.buf = data
+	return nil
+}
+
+// successorExists reports whether segment seq+1 exists — the signal
+// that the current segment is sealed and will never grow again.
+func (it *Iterator) successorExists() (bool, error) {
+	_, err := os.Stat(filepath.Join(it.dir, segmentName(it.seq+1)))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, fmt.Errorf("wal: probing successor segment: %w", err)
+}
+
+// Epoch returns the store epoch recorded in the log's meta frames; ok
+// is false until the first meta frame has been consumed.
+func (it *Iterator) Epoch() (time.Time, bool) {
+	return it.epoch, !it.epoch.IsZero()
+}
+
+// Pos returns the cursor: the current segment sequence number and the
+// consumed byte offset within it. Both are zero before the first
+// segment is found.
+func (it *Iterator) Pos() (seq uint64, off int64) {
+	return it.seq, it.off
+}
+
+// Close releases the open segment handle, if any. The iterator must
+// not be used afterwards.
+func (it *Iterator) Close() error {
+	if it.f == nil {
+		return nil
+	}
+	err := it.f.Close()
+	it.f = nil
+	return err
+}

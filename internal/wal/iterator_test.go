@@ -1,0 +1,249 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// drain pulls every currently-available batch from the iterator,
+// failing the test on a corruption error.
+func drain(t *testing.T, it *Iterator) []Batch {
+	t.Helper()
+	var out []Batch
+	for i := 0; i < 1000; i++ {
+		b, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, b)
+	}
+	t.Fatal("iterator did not report caught-up after 1000 batches")
+	return nil
+}
+
+// TestIteratorSealedThenActiveHandoff is the tailer's core scenario:
+// the iterator drains sealed segments, crosses the seal onto the
+// active segment, reports caught-up at the pending tail, and then
+// picks up frames the writer appends afterwards.
+func TestIteratorSealedThenActiveHandoff(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation every batch or two.
+	l, _, err := Open(dir, Options{Epoch: testEpoch, SegmentBytes: 2 << 10, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Batch
+	for i := 0; i < 8; i++ {
+		b := Batch{Tag: uint64(i), Records: mkRecords(uint64(i*100), 3)}
+		if err := l.AppendTagged(b.Tag, b.Records); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+
+	it, err := NewIterator(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := drain(t, it)
+	sameBatches(t, got, want)
+	if epoch, ok := it.Epoch(); !ok || !epoch.Equal(testEpoch) {
+		t.Fatalf("iterator epoch = %v (ok=%v), want %v", epoch, ok, testEpoch)
+	}
+	seq, _ := it.Pos()
+	if seq != segs[len(segs)-1].Seq {
+		t.Fatalf("iterator stopped on segment %d, want the active segment %d", seq, segs[len(segs)-1].Seq)
+	}
+
+	// The writer keeps appending to the active segment (and across more
+	// rotations); the same iterator must pick the new frames up.
+	var more []Batch
+	for i := 8; i < 14; i++ {
+		b := Batch{Tag: uint64(i), Records: mkRecords(uint64(i*100), 3)}
+		if err := l.AppendTagged(b.Tag, b.Records); err != nil {
+			t.Fatal(err)
+		}
+		more = append(more, b)
+	}
+	sameBatches(t, drain(t, it), more)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIteratorEmptyThenCreated starts the iterator before the WAL
+// directory has any segments (or exists at all) and checks it reports
+// caught-up until a writer shows up.
+func TestIteratorEmptyThenCreated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	it, err := NewIterator(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next on a missing directory = (ok=%v, err=%v), want caught-up", ok, err)
+	}
+	if _, ok := it.Epoch(); ok {
+		t.Fatal("epoch established before any meta frame was read")
+	}
+
+	l, _, err := Open(dir, Options{Epoch: testEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := []Batch{{Tag: 7, Records: mkRecords(0, 5)}}
+	if err := l.AppendTagged(7, want[0].Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sameBatches(t, drain(t, it), want)
+}
+
+// TestIteratorPendingTail writes a torn half-frame at the tail of the
+// final segment: the iterator must treat it as pending, not as an
+// error, and resume once the frame completes.
+func TestIteratorPendingTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Epoch: testEpoch, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTagged(1, mkRecords(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the next frame by hand and append only half of it.
+	b := Batch{Tag: 2, Records: mkRecords(100, 2)}
+	frame := buildBatchFrame(t, b)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, segs[len(segs)-1].Name)
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := NewIterator(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := drain(t, it) // must stop cleanly at the torn tail
+	if len(got) != 1 || got[0].Tag != 1 {
+		t.Fatalf("recovered %d batches before the torn tail, want 1 with tag 1", len(got))
+	}
+
+	// Complete the frame: the pending tail becomes a real batch.
+	if _, err := f.Write(frame[len(frame)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameBatches(t, drain(t, it), []Batch{b})
+}
+
+// TestIteratorSealedCorruption flips a payload byte in a sealed (non
+// final) segment: the iterator must fail with an error rather than
+// silently skipping frames.
+func TestIteratorSealedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Epoch: testEpoch, SegmentBytes: 1 << 10, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.AppendTagged(uint64(i), mkRecords(uint64(i*10), 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	// Damage the tail of the first (sealed) segment.
+	name := filepath.Join(dir, segs[0].Name)
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := NewIterator(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	sawErr := false
+	for i := 0; i < 100 && !sawErr; i++ {
+		_, ok, err := it.Next()
+		if err != nil {
+			sawErr = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("iterator crossed a damaged sealed segment without an error")
+	}
+}
+
+// buildBatchFrame encodes one batch frame exactly as AppendTagged does.
+func buildBatchFrame(t *testing.T, b Batch) []byte {
+	t.Helper()
+	tmp := t.TempDir()
+	l, _, err := Open(tmp, Options{Epoch: testEpoch, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(tmp, segmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTagged(b.Tag, b.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(tmp, segmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return after[len(before):]
+}

@@ -311,41 +311,71 @@ func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
 			break
 		}
 		if first {
-			var meta metaBody
-			if payload[0] != kindMeta || json.Unmarshal(payload[1:], &meta) != nil {
+			epoch, intact, err := decodeMeta(payload, seg.Name, seg.Seq, rec.Epoch)
+			if err != nil {
+				return nil, err
+			}
+			if !intact {
 				break // damaged meta frame: treat as torn at offset 0
 			}
-			if meta.Format != FormatName {
-				return nil, fmt.Errorf("wal: segment %s has unknown format %q", seg.Name, meta.Format)
-			}
-			if meta.Segment != seg.Seq {
-				return nil, fmt.Errorf("wal: segment %s records sequence %d", seg.Name, meta.Segment)
-			}
-			if rec.Epoch.IsZero() {
-				rec.Epoch = meta.Epoch
-			} else if !meta.Epoch.Equal(rec.Epoch) {
-				return nil, fmt.Errorf("wal: segment %s epoch %s does not match %s", seg.Name, meta.Epoch, rec.Epoch)
-			}
+			rec.Epoch = epoch
 			first = false
 			off = next
 			continue
 		}
-		if payload[0] != kindBatch {
-			break // unknown frame kind: stop at the last understood frame
+		b, intact := decodeBatch(payload)
+		if !intact {
+			break // unknown kind or undecodable body: stop at the last understood frame
 		}
-		var body batchBody
-		if err := json.Unmarshal(payload[1:], &body); err != nil {
-			break
-		}
-		batches = append(batches, Batch{Tag: body.Tag, Records: body.Records})
+		batches = append(batches, b)
 		seg.Frames++
-		seg.Records += len(body.Records)
+		seg.Records += len(b.Records)
 		off = next
 	}
 	seg.GoodBytes = off
 	seg.TornBytes = seg.Bytes - off
 	seg.Torn = seg.TornBytes > 0
 	return batches, nil
+}
+
+// decodeMeta validates a segment's leading meta-frame payload against
+// the segment's name and sequence and an already-established epoch (a
+// zero established epoch adopts the recorded one; the returned epoch is
+// the established one either way). intact is false when the payload is
+// not a decodable meta frame — damaged bytes the caller treats as a
+// torn tail. err reports format, sequence or epoch mismatches: those
+// frames decoded fine, so the damage is corruption, not a tear.
+func decodeMeta(payload []byte, name string, seq uint64, established time.Time) (epoch time.Time, intact bool, err error) {
+	var meta metaBody
+	if len(payload) == 0 || payload[0] != kindMeta || json.Unmarshal(payload[1:], &meta) != nil {
+		return time.Time{}, false, nil
+	}
+	if meta.Format != FormatName {
+		return time.Time{}, false, fmt.Errorf("wal: segment %s has unknown format %q", name, meta.Format)
+	}
+	if meta.Segment != seq {
+		return time.Time{}, false, fmt.Errorf("wal: segment %s records sequence %d", name, meta.Segment)
+	}
+	if established.IsZero() {
+		return meta.Epoch, true, nil
+	}
+	if !meta.Epoch.Equal(established) {
+		return time.Time{}, false, fmt.Errorf("wal: segment %s epoch %s does not match %s", name, meta.Epoch, established)
+	}
+	return established, true, nil
+}
+
+// decodeBatch decodes a batch-frame payload. intact is false for an
+// unknown frame kind or an undecodable body.
+func decodeBatch(payload []byte) (Batch, bool) {
+	if len(payload) == 0 || payload[0] != kindBatch {
+		return Batch{}, false
+	}
+	var body batchBody
+	if err := json.Unmarshal(payload[1:], &body); err != nil {
+		return Batch{}, false
+	}
+	return Batch{Tag: body.Tag, Records: body.Records}, true
 }
 
 // nextFrame validates the frame at off and returns its payload and the

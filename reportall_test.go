@@ -1,0 +1,109 @@
+package honeyfarm
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/atomicio"
+	"honeyfarm/internal/store"
+)
+
+// TestReportTablesPartitionFullReport: rendering every section one at a
+// time, in order, must reproduce the full report byte for byte — i.e.
+// the named sections partition the report and each selected block is
+// byte-identical to the full run's corresponding block.
+func TestReportTablesPartitionFullReport(t *testing.T) {
+	d := testDataset(t)
+	opts := ReportOptions{SeriesStride: 60, RankPoints: 10}
+
+	var full bytes.Buffer
+	d.WriteReport(&full, opts)
+
+	names := ReportTables()
+	if len(names) < 20 {
+		t.Fatalf("ReportTables returned only %d names", len(names))
+	}
+	var concat bytes.Buffer
+	for _, name := range names {
+		sel := opts
+		sel.Tables = []string{name}
+		d.WriteReport(&concat, sel)
+	}
+	if !bytes.Equal(full.Bytes(), concat.Bytes()) {
+		t.Fatalf("per-table renders do not concatenate to the full report (full %d bytes, concat %d bytes)",
+			full.Len(), concat.Len())
+	}
+}
+
+// TestReportTablesSelection: a -tables selection renders exactly the
+// requested blocks, in report order regardless of request order, and
+// each block matches the full run's bytes.
+func TestReportTablesSelection(t *testing.T) {
+	d := testDataset(t)
+	opts := ReportOptions{SeriesStride: 60, RankPoints: 10}
+
+	var full bytes.Buffer
+	d.WriteReport(&full, opts)
+
+	render := func(tables ...string) []byte {
+		sel := opts
+		sel.Tables = tables
+		var buf bytes.Buffer
+		d.WriteReport(&buf, sel)
+		return buf.Bytes()
+	}
+
+	table1 := render("table1")
+	fig15 := render("figure15")
+	for name, block := range map[string][]byte{"table1": table1, "figure15": fig15} {
+		if len(block) == 0 || !bytes.Contains(full.Bytes(), block) {
+			t.Fatalf("selected %s block (%d bytes) is not a block of the full report", name, len(block))
+		}
+	}
+	// Request order must not matter: output is always report order.
+	got := render("figure15", "table1")
+	want := append(append([]byte(nil), table1...), fig15...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("multi-table selection not rendered in report order:\n%.200s", got)
+	}
+}
+
+// TestWriteReportEmptyDataset: a dataset with zero sessions must render
+// the full report without panicking or emitting NaN — the state a
+// just-started farm (or an empty WAL) presents to cmd/analyze.
+func TestWriteReportEmptyDataset(t *testing.T) {
+	d := &Dataset{
+		Store:    store.New(DefaultEpoch),
+		Registry: NewRegistry(1),
+		NumPots:  4,
+		tagger:   analysis.Tagger(defaultTagger()),
+	}
+	var buf bytes.Buffer
+	d.WriteReport(&buf, ReportOptions{})
+	out := buf.String()
+	if !strings.Contains(out, "dataset: 0 sessions") {
+		t.Fatalf("summary line missing:\n%.200s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("empty dataset report contains NaN/Inf")
+	}
+}
+
+// TestReportUnwritableOutputDir: writing a report into a directory that
+// does not exist (or cannot be created into) must surface an error, not
+// strand a partial file — the path cmd/reproduce's -out takes.
+func TestReportUnwritableOutputDir(t *testing.T) {
+	d := testDataset(t)
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "report.txt")
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		d.WriteReport(w, ReportOptions{Tables: []string{"summary"}})
+		return nil
+	})
+	if err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
