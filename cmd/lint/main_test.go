@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratchModule materializes a throwaway module so each exit-code path
+// runs against a real `go list` load.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package scratch
+
+func Add(a, b int) int { return a + b }
+`
+
+const findingSrc = `package scratch
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func Fire() { mayFail() }
+`
+
+const typeErrorSrc = `package scratch
+
+func Broken() { undefinedFunction() }
+`
+
+// TestExitCodes drives the documented taxonomy through run(): 0 clean,
+// 1 findings, 2 load/type error — plus the -rules filter on both sides
+// of the findings boundary.
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		src      string
+		args     []string
+		wantExit int
+		wantOut  string // substring of stdout, "" = don't care
+	}{
+		{name: "clean", src: cleanSrc, wantExit: 0},
+		{name: "findings", src: findingSrc, wantExit: 1, wantOut: "error-discard"},
+		{name: "type error", src: typeErrorSrc, wantExit: 2},
+		{name: "findings filtered out", src: findingSrc,
+			args: []string{"-rules", "nondeterminism"}, wantExit: 0},
+		{name: "findings filtered in", src: findingSrc,
+			args: []string{"-rules", "error-discard,nondeterminism"}, wantExit: 1, wantOut: "error-discard"},
+		{name: "unknown rule", src: cleanSrc,
+			args: []string{"-rules", "no-such-rule"}, wantExit: 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := scratchModule(t, map[string]string{"scratch.go": tc.src})
+			var stdout, stderr bytes.Buffer
+			args := append([]string{"-no-cache"}, tc.args...)
+			args = append(args, "./...")
+			if got := run(dir, args, &stdout, &stderr); got != tc.wantExit {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.wantExit, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+		})
+	}
+}
+
+// TestJSONAndCacheStreams pins the stream contract check.sh depends on:
+// the -json report goes to stdout and is byte-identical between a cold
+// and a warm run, while cache statistics go to stderr only.
+func TestJSONAndCacheStreams(t *testing.T) {
+	dir := scratchModule(t, map[string]string{"scratch.go": cleanSrc})
+	cache := filepath.Join(dir, "cache")
+	runOnce := func() (string, string) {
+		var stdout, stderr bytes.Buffer
+		if got := run(dir, []string{"-json", "-cache-dir", cache, "./..."}, &stdout, &stderr); got != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", got, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	coldOut, coldErr := runOnce()
+	warmOut, warmErr := runOnce()
+	if coldOut != warmOut {
+		t.Errorf("cold and warm -json stdout differ:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+	if strings.Contains(coldOut, "cache") {
+		t.Errorf("cache statistics leaked into stdout:\n%s", coldOut)
+	}
+	if !strings.Contains(coldErr, "0 hit(s)") {
+		t.Errorf("cold stderr should report 0 hits:\n%s", coldErr)
+	}
+	if !strings.Contains(warmErr, "0 miss(es)") {
+		t.Errorf("warm stderr should report 0 misses:\n%s", warmErr)
+	}
+	if !strings.Contains(coldOut, `"schema": "honeyfarm-lint-report-v1"`) {
+		t.Errorf("report schema missing from -json output:\n%s", coldOut)
+	}
+}

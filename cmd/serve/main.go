@@ -32,6 +32,7 @@ import (
 
 	"honeyfarm"
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/atomicio"
 	"honeyfarm/internal/malware"
 	"honeyfarm/internal/query"
 )
@@ -94,7 +95,9 @@ func main() {
 		log.Fatalf("serve: listen: %v", err)
 	}
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+		// Written atomically: the check.sh smoke test (and any supervisor)
+		// polls this file and must never read a half-written address.
+		if err := atomicio.WriteFileBytes(*addrFile, []byte(ln.Addr().String()+"\n")); err != nil {
 			log.Fatalf("serve: writing -addr-file: %v", err)
 		}
 	}

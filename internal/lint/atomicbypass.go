@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// atomicioWriteNames are the os package entry points that replace or
+// create a file non-atomically: a crash mid-call leaves a truncated or
+// missing artifact for readers to trip over.
+var atomicioWriteNames = map[string]bool{
+	"Create": true, "Rename": true, "WriteFile": true,
+}
+
+// AtomicioBypass enforces the artifact-write contract: reports,
+// datasets and address files are written only through internal/atomicio
+// (tmp + fsync + rename), so a reader observes either the old file or
+// the complete new one. The rule covers the packages that produce
+// artifacts — the deterministic pipeline and every command — and
+// exempts internal/atomicio itself (the rename lives there) and
+// internal/wal, whose segment files have their own recovery protocol
+// (CRC-framed records, torn-tail truncation on open).
+var AtomicioBypass = &Analyzer{
+	Name: "atomicio-bypass",
+	Doc:  "artifact files are written through internal/atomicio, not direct os.Create/os.Rename/os.WriteFile",
+	Run: func(p *Pass) {
+		path := p.Pkg.Path
+		if pathHasSuffix(path, "internal/atomicio") || pathHasSuffix(path, "internal/wal") {
+			return
+		}
+		if !deterministicPkg(path) && !strings.Contains(path, "/cmd/") {
+			return
+		}
+		inspect(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if importedPkgPath(p.Pkg.Info, sel.X) != "os" || !atomicioWriteNames[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(), "os.%s writes the file non-atomically; route artifact writes through internal/atomicio so a crash never exposes a partial file", sel.Sel.Name)
+			return true
+		})
+	},
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A baseline grandfathers known findings so check.sh can demand a
+// zero-finding run while deliberate contract exceptions stay visible in
+// a reviewed, checked-in file instead of scattered suppressions. Each
+// entry matches on rule + module-relative file + exact message with an
+// explicit count — line numbers are deliberately absent so unrelated
+// edits to the file do not orphan the entry.
+
+// BaselineEntry grandfathers up to Count findings of Rule in File whose
+// message equals Message.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-relative, forward slashes
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+	// Why documents the contract exception; informational only.
+	Why string `json:"why,omitempty"`
+}
+
+type baselineFile struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+const baselineSchema = "honeyfarm-lint-baseline-v1"
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %v", path, err)
+	}
+	if bf.Schema != baselineSchema {
+		return nil, fmt.Errorf("lint: baseline %s: schema %q, want %q", path, bf.Schema, baselineSchema)
+	}
+	return bf.Entries, nil
+}
+
+// ApplyBaseline filters out findings covered by the baseline. root
+// anchors the module-relative paths entries use. It returns the
+// surviving findings, how many were grandfathered, and the entries with
+// unconsumed count — stale entries are reported so the baseline shrinks
+// as debt is paid instead of silently masking future regressions.
+func ApplyBaseline(findings []Finding, entries []BaselineEntry, root string) (kept []Finding, baselined int, stale []BaselineEntry) {
+	type matchKey struct{ rule, file, message string }
+	remaining := map[matchKey]int{}
+	for _, e := range entries {
+		remaining[matchKey{e.Rule, e.File, e.Message}] += e.Count
+	}
+	for _, f := range findings {
+		k := matchKey{f.Rule, relPath(root, f.Pos.Filename), f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range entries {
+		k := matchKey{e.Rule, e.File, e.Message}
+		if remaining[k] > 0 {
+			stale = append(stale, BaselineEntry{Rule: e.Rule, File: e.File, Message: e.Message, Count: remaining[k]})
+			remaining[k] = 0
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return kept, baselined, stale
+}
+
+// relPath rewrites an absolute finding path as module-relative with
+// forward slashes — the form baselines and JSON reports use so they are
+// stable across checkouts.
+func relPath(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+func bf(rule, file string, line int, msg string) Finding {
+	return Finding{Rule: rule, Pos: token.Position{Filename: "/mod/" + file, Line: line}, Message: msg}
+}
+
+// TestApplyBaseline covers the matching semantics: rule+file+message
+// with an explicit count, line-number-free so entries survive unrelated
+// edits, with over-budget findings kept and under-consumed entries
+// reported stale.
+func TestApplyBaseline(t *testing.T) {
+	entries := []BaselineEntry{
+		{Rule: "lock-across-blocking", File: "internal/wal/wal.go", Message: "held across fsync", Count: 2},
+		{Rule: "atomicio-bypass", File: "cmd/gone/main.go", Message: "non-atomic write", Count: 1},
+	}
+	findings := []Finding{
+		bf("lock-across-blocking", "internal/wal/wal.go", 10, "held across fsync"),
+		bf("lock-across-blocking", "internal/wal/wal.go", 20, "held across fsync"),
+		bf("lock-across-blocking", "internal/wal/wal.go", 30, "held across fsync"),     // over budget
+		bf("lock-across-blocking", "internal/query/engine.go", 5, "held across fsync"), // other file
+		bf("nondeterminism", "internal/wal/wal.go", 10, "held across fsync"),           // other rule
+	}
+	kept, baselined, stale := ApplyBaseline(findings, entries, "/mod")
+	if baselined != 2 {
+		t.Errorf("baselined = %d, want 2", baselined)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept = %v, want the over-budget, other-file and other-rule findings", kept)
+	}
+	if kept[0].Pos.Line != 30 {
+		t.Errorf("the third same-message finding should survive (count exhausted), got line %d", kept[0].Pos.Line)
+	}
+	if len(stale) != 1 || stale[0].File != "cmd/gone/main.go" || stale[0].Count != 1 {
+		t.Errorf("stale = %v, want the fully-unmatched cmd/gone entry", stale)
+	}
+}
+
+// TestApplyBaselineLineDrift: the same finding moving to a different
+// line still matches — that is the point of omitting line numbers.
+func TestApplyBaselineLineDrift(t *testing.T) {
+	entries := []BaselineEntry{
+		{Rule: "r", File: "a/b.go", Message: "m", Count: 1},
+	}
+	kept, baselined, stale := ApplyBaseline([]Finding{bf("r", "a/b.go", 999, "m")}, entries, "/mod")
+	if len(kept) != 0 || baselined != 1 || len(stale) != 0 {
+		t.Errorf("kept=%v baselined=%d stale=%v, want clean match despite line drift", kept, baselined, stale)
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"honeyfarm/internal/atomicio"
+)
+
+// analyzerVersion participates in every cache key; bump it whenever a
+// rule's behavior or the fact model changes so stale results can never
+// be served from disk.
+const analyzerVersion = "honeyfarm-lint/6"
+
+// cacheEntry is one package's cached analysis result: the exact key it
+// was computed under, the package findings (pre-baseline, sorted), and
+// the package's own facts so dependents can be analyzed without
+// re-type-checking this package.
+type cacheEntry struct {
+	Schema   string       `json:"schema"`
+	Key      string       `json:"key"`
+	Path     string       `json:"path"`
+	Findings []Finding    `json:"findings"`
+	Facts    PackageFacts `json:"facts"`
+}
+
+const cacheEntrySchema = "honeyfarm-lint-cache-v1"
+
+// cacheKey derives the content hash a package's result is stored under.
+// It covers everything the findings can depend on: the analyzer
+// version, the rule set, the package identity, every source file's
+// content, and the fact hashes of the module dependencies — so a fact
+// change deep in the import graph invalidates every dependent.
+func cacheKey(rules []*Analyzer, lp *listedPackage, depHashes []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "version %s\n", analyzerVersion)
+	names := make([]string, len(rules))
+	for i, a := range rules {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "rule %s\n", n)
+	}
+	fmt.Fprintf(h, "package %s\n", lp.ImportPath)
+	fmt.Fprintf(h, "dir %s\n", lp.Dir)
+	files := append([]string(nil), lp.GoFiles...)
+	sort.Strings(files)
+	for _, name := range files {
+		f, err := os.Open(filepath.Join(lp.Dir, name))
+		if err != nil {
+			return "", fmt.Errorf("lint: hashing %s: %v", name, err)
+		}
+		fmt.Fprintf(h, "file %s\n", name)
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", fmt.Errorf("lint: hashing %s: %v", name, err)
+		}
+		fmt.Fprintf(h, "\n")
+	}
+	sorted := append([]string(nil), depHashes...)
+	sort.Strings(sorted)
+	for _, dh := range sorted {
+		fmt.Fprintf(h, "dep %s\n", dh)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// factHash summarizes a package's analysis-visible surface for its
+// dependents' cache keys: its own facts plus its dependencies' hashes,
+// so invalidation propagates transitively through packages whose own
+// facts did not change.
+func factHash(path string, own PackageFacts, depHashes []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "package %s\n", path)
+	//lint:ignore error-discard marshaling a map of plain string structs cannot fail
+	data, _ := json.Marshal(own) // map keys marshal sorted: deterministic
+	h.Write(data)
+	sorted := append([]string(nil), depHashes...)
+	sort.Strings(sorted)
+	for _, dh := range sorted {
+		fmt.Fprintf(h, "dep %s\n", dh)
+	}
+	return path + ":" + hex.EncodeToString(h.Sum(nil))
+}
+
+// loadCacheEntry returns the cached result for key, or nil on any miss
+// (absent, unreadable, schema drift, key mismatch). Corrupt entries are
+// treated as misses, never errors: the cache is an accelerator only.
+func loadCacheEntry(dir, key string) *cacheEntry {
+	data, err := os.ReadFile(cachePath(dir, key))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheEntrySchema || e.Key != key {
+		return nil
+	}
+	if e.Facts == nil {
+		e.Facts = PackageFacts{}
+	}
+	return &e
+}
+
+// storeCacheEntry persists one package result. Written through
+// atomicio so a crash mid-write can never leave a truncated entry that
+// json.Unmarshal would half-accept.
+func storeCacheEntry(dir string, e *cacheEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lint: creating cache dir: %v", err)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("lint: encoding cache entry: %v", err)
+	}
+	return atomicio.WriteFileBytes(cachePath(dir, e.Key), data)
+}
+
+func cachePath(dir, key string) string {
+	return filepath.Join(dir, key+".json")
+}

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the lightweight intra-function dataflow walk the
+// determinism-taint rule runs over go/types info. It is a single
+// forward pass in source order: local objects become tainted when a
+// nondeterminism source flows into them (a call whose callee carries a
+// Nondet fact, or a range over a map — iteration order), taint
+// propagates through assignments and expressions, and a tainted value
+// reaching a sink (an argument to a callee with a Durable or Publishes
+// fact) is reported. The pass is deliberately flow-insensitive across
+// loop back-edges and branch joins — taint acquired anywhere in a
+// branch persists afterwards — which over-approximates in the safe
+// direction for a contract checker.
+
+// taintWalker tracks tainted local objects through one function body.
+type taintWalker struct {
+	p       *Pass
+	tainted map[types.Object]string // object -> source description
+	seen    map[token.Pos]bool      // sink positions already reported
+}
+
+func newTaintWalker(p *Pass) *taintWalker {
+	return &taintWalker{p: p, tainted: map[types.Object]string{}, seen: map[token.Pos]bool{}}
+}
+
+// stmts processes a statement list in order.
+func (w *taintWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *taintWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				src, tainted := "", false
+				for _, v := range vs.Values {
+					if d, ok := w.expr(v); ok {
+						src, tainted = d, true
+					}
+				}
+				if tainted {
+					for _, name := range vs.Names {
+						if obj := w.p.Pkg.Info.Defs[name]; obj != nil {
+							w.tainted[obj] = src
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if d, ok := w.expr(s.X); ok {
+			w.bindRangeVars(s, d)
+		} else if t := w.p.Pkg.Info.Types[s.X].Type; t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				w.bindRangeVars(s, "map iteration order")
+			}
+		}
+		w.stmts(s.Body.List)
+	case *ast.ExprStmt:
+		w.cleanse(s.X)
+		w.expr(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmts(s.Body.List)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// bindRangeVars taints a range statement's key/value variables.
+func (w *taintWalker) bindRangeVars(s *ast.RangeStmt, src string) {
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.p.Pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			w.tainted[obj] = src
+		}
+	}
+}
+
+// assign propagates taint across an assignment: a tainted right side
+// taints every left-side object; a clean right side clears taint of
+// plainly reassigned locals (a sort-then-reassign launders correctly).
+func (w *taintWalker) assign(s *ast.AssignStmt) {
+	src, tainted := "", false
+	for _, rhs := range s.Rhs {
+		if d, ok := w.expr(rhs); ok {
+			src, tainted = d, true
+		}
+	}
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			// A write through a selector/index keeps the root's taint state;
+			// evaluate for sinks only.
+			w.expr(lhs)
+			continue
+		}
+		obj := w.p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.p.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if tainted {
+			w.tainted[obj] = src
+		} else {
+			delete(w.tainted, obj)
+		}
+	}
+}
+
+// cleanse recognizes calls that impose a deterministic order on their
+// argument — sort.X(s), slices.Sort*(s) — and clears the argument's
+// taint: sorted map keys are the sanctioned way to iterate a map on the
+// artifact path.
+func (w *taintWalker) cleanse(e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch importedPkgPath(w.p.Pkg.Info, sel.X) {
+	case "sort", "slices":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := w.p.Pkg.Info.Uses[id]; obj != nil {
+				delete(w.tainted, obj)
+			}
+		}
+	}
+}
+
+// expr evaluates an expression's taint, reporting tainted arguments
+// that reach a durable-write or publish sink along the way.
+func (w *taintWalker) expr(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case nil:
+		return "", false
+	case *ast.Ident:
+		obj := w.p.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = w.p.Pkg.Info.Defs[e]
+		}
+		if obj != nil {
+			if src, ok := w.tainted[obj]; ok {
+				return src, true
+			}
+		}
+		return "", false
+	case *ast.CallExpr:
+		return w.call(e)
+	case *ast.ParenExpr:
+		return w.expr(e.X)
+	case *ast.UnaryExpr:
+		return w.expr(e.X)
+	case *ast.StarExpr:
+		return w.expr(e.X)
+	case *ast.BinaryExpr:
+		if src, ok := w.expr(e.X); ok {
+			w.expr(e.Y)
+			return src, true
+		}
+		return w.expr(e.Y)
+	case *ast.SelectorExpr:
+		return w.expr(e.X)
+	case *ast.IndexExpr:
+		if src, ok := w.expr(e.X); ok {
+			w.expr(e.Index)
+			return src, true
+		}
+		return w.expr(e.Index)
+	case *ast.SliceExpr:
+		return w.expr(e.X)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X)
+	case *ast.CompositeLit:
+		src, tainted := "", false
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if d, ok := w.expr(el); ok {
+				src, tainted = d, true
+			}
+		}
+		return src, tainted
+	case *ast.KeyValueExpr:
+		return w.expr(e.Value)
+	case *ast.FuncLit:
+		// A nested closure body shares the outer taint map; precise enough
+		// for the contract and keeps deferred writers covered.
+		w.stmts(e.Body.List)
+		return "", false
+	}
+	return "", false
+}
+
+// call evaluates a call: argument taint is checked against the callee's
+// sink facts, a Nondet callee taints the result, and any tainted
+// argument conservatively taints the result too.
+func (w *taintWalker) call(e *ast.CallExpr) (string, bool) {
+	var facts FuncFacts
+	fn := calleeFunc(w.p.Pkg.Info, e.Fun)
+	if fn != nil {
+		facts = w.p.Facts.Of(fn)
+	}
+	sink := ""
+	switch {
+	case facts.Durable != "":
+		sink = "durable write (" + facts.Durable + ")"
+	case facts.Publishes != "":
+		sink = "snapshot publish (" + facts.Publishes + ")"
+	}
+
+	src, tainted := "", false
+	args := e.Args
+	if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+		// A tainted receiver flowing into a sink method counts too:
+		// buf.WriteTo(walFile) with tainted buf.
+		args = append([]ast.Expr{sel.X}, args...)
+	}
+	for _, arg := range args {
+		d, ok := w.expr(arg)
+		if !ok {
+			continue
+		}
+		src, tainted = d, true
+		if sink != "" && !w.seen[arg.Pos()] {
+			w.seen[arg.Pos()] = true
+			w.p.Reportf(arg.Pos(), "nondeterministic value (%s) flows into %s; the artifact path must be a pure function of the seed", d, sink)
+		}
+	}
+	if fn != nil && facts.Nondet != "" {
+		return facts.Nondet, true
+	}
+	return src, tainted
+}

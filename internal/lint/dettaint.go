@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeterminismTaint is the cross-package half of the determinism
+// contract. The per-package nondeterminism rule bans wall-clock and
+// global-rand reads inside deterministic packages; this rule follows
+// values instead: a nondeterminism source — a call whose callee
+// transitively reaches the wall clock or global rand state (Nondet
+// fact, so a helper three packages away counts), or a range over a map
+// — must not flow into a durable write or a snapshot publish. Sorting
+// a slice (sort.*, slices.*) launders map-iteration taint: sorted keys
+// are the sanctioned way to emit map contents on the artifact path.
+var DeterminismTaint = &Analyzer{
+	Name: "determinism-taint",
+	Doc:  "no wall-clock, global-rand or map-iteration value may flow into a WAL frame, snapshot or report artifact",
+	Run: func(p *Pass) {
+		if !deterministicPkg(p.Pkg.Path) {
+			return
+		}
+		for _, file := range p.Pkg.Files {
+			if p.Pkg.Generated[file] {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := newTaintWalker(p)
+				w.stmts(fd.Body.List)
+			}
+		}
+	},
+}

@@ -21,6 +21,11 @@ var fixtureDirs = map[string]string{
 	"wiresym":        "fixture/wiresym",
 	"boundedloop":    "fixture/internal/stats",
 	"suppress":       "fixture/sup/internal/workload",
+	"dettaint":       "fixture/dt/internal/report",
+	"atomicbypass":   "fixture/ab/cmd/export",
+	"timercommit":    "fixture/timercommit",
+	"snapmut":        "fixture/snapmut",
+	"lockblocking":   "fixture/lockblocking",
 }
 
 // fixtureExtraWant lists expected findings that cannot carry an inline
@@ -30,6 +35,15 @@ var fixtureExtraWant = map[string][]string{
 	"suppress": {
 		"malformed.go:8:directive",
 		"malformed.go:12:directive",
+		// stale.go: a stale suppression, an unknown rule name, and a
+		// wildcard that suppresses nothing — each reported at its
+		// directive comment.
+		"stale.go:6:directive",
+		"stale.go:13:directive",
+		"stale.go:19:directive",
+		// precedence.go: the line-above directive is shadowed by the
+		// same-line one and reported stale.
+		"precedence.go:9:directive",
 	},
 }
 

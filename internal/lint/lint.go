@@ -2,19 +2,34 @@
 // repository's correctness contracts: the simulation path must be
 // bit-for-bit deterministic (no global math/rand state, no wall-clock
 // reads), the concurrent wire path must not leak goroutines or discard
-// errors silently, lock-bearing values must not be copied, and the SSH
-// wire codec must stay marshal/unmarshal symmetric.
+// errors silently, lock-bearing values must not be copied, the SSH
+// wire codec must stay marshal/unmarshal symmetric — and, since the
+// cross-package engine landed, the durability contracts that live
+// *between* packages: no nondeterministic value may flow into a WAL
+// frame, snapshot or report writer (determinism-taint), artifact files
+// are written only through internal/atomicio (atomicio-bypass), WAL
+// syncs and snapshot seals are count-based, never timer-based
+// (timer-commit), published snapshots are immutable (snapshot-mutation),
+// and no mutex is held across fsync, network I/O or channel operations
+// (lock-across-blocking).
 //
 // The framework is built on go/ast, go/parser and go/types alone. The
 // driver loads packages through `go list -export`, type-checks them from
-// source, runs every registered analyzer, and aggregates findings with
-// positions. A finding can be suppressed with a directive comment on the
-// offending line or the line above:
+// source, computes per-package function facts propagated along the
+// import graph (see facts.go), runs every registered analyzer, and
+// aggregates findings with positions. Packages are analyzed in parallel
+// with deterministic finding order, and results are cached on disk
+// keyed by source content + analyzer version + dependency facts (see
+// engine.go). A finding can be suppressed with a directive comment on
+// the offending line or the line above:
 //
-//	//lint:ignore <rule> <reason>
+//	//lint:ignore <rule>[,<rule>...] <reason>
 //
-// The reason is mandatory; a bare directive is itself reported. The rule
-// catalog lives in DESIGN.md ("Correctness tooling").
+// The reason is mandatory; a bare directive is itself reported, as is a
+// stale directive naming a rule that does not fire on that line and a
+// directive naming a rule that does not exist. Files carrying the
+// standard "Code generated ... DO NOT EDIT." marker are skipped. The
+// rule catalog lives in DESIGN.md ("Correctness tooling").
 package lint
 
 import (
@@ -45,20 +60,23 @@ type Analyzer struct {
 
 // Pass carries one (analyzer, package) unit of work. Analyzers report
 // through Reportf, which applies suppression directives before recording
-// the finding.
+// the finding, and consult Facts for cross-package function properties.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Facts is the merged fact view: the module dependencies' facts plus
+	// this package's own (see facts.go).
+	Facts *Facts
 
-	ignores  map[string]map[int][]string // file -> line -> suppressed rules
-	findings *[]Finding
+	directives *directiveSet
+	findings   *[]Finding
 }
 
 // Reportf records a finding at pos unless a suppression directive covers
 // it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.suppressed(position) {
+	if p.directives.suppress(p.Analyzer.Name, position) {
 		return
 	}
 	*p.findings = append(*p.findings, Finding{
@@ -68,26 +86,48 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// suppressed reports whether an ignore directive for this rule sits on
-// the finding's line or the line directly above it.
-func (p *Pass) suppressed(pos token.Position) bool {
-	lines := p.ignores[pos.Filename]
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	rules []string // rule names (or "*"); parsed from the comma list
+	pos   token.Position
+	line  int             // effective line: the comment's end line
+	used  map[string]bool // rule name (as written) -> consumed a finding
+}
+
+// directiveSet indexes a package's directives by file and line.
+type directiveSet struct {
+	byFile map[string]map[int][]*directive
+	all    []*directive // in scan order (file, then position)
+}
+
+// suppress reports whether a directive covers a finding of rule at pos,
+// marking the matching directive as used. Same-line directives take
+// precedence over line-above directives; within a line, the first
+// matching directive wins.
+func (d *directiveSet) suppress(rule string, pos token.Position) bool {
+	lines := d.byFile[pos.Filename]
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, rule := range lines[line] {
-			if rule == p.Analyzer.Name || rule == "*" {
-				return true
+		for _, dir := range lines[line] {
+			for _, r := range dir.rules {
+				if r == rule || r == "*" {
+					dir.used[r] = true
+					return true
+				}
 			}
 		}
 	}
 	return false
 }
 
-// ignoreDirectives scans a package's comments for lint:ignore directives
-// and reports malformed ones (missing rule or reason) as findings of the
-// pseudo-rule "directive".
-func ignoreDirectives(pkg *Package, findings *[]Finding) map[string]map[int][]string {
-	out := map[string]map[int][]string{}
+// scanDirectives parses a package's lint:ignore comments, reporting
+// malformed ones (missing rule or reason) as findings of the
+// pseudo-rule "directive". Generated files are skipped entirely.
+func scanDirectives(pkg *Package, findings *[]Finding) *directiveSet {
+	ds := &directiveSet{byFile: map[string]map[int][]*directive{}}
 	for _, file := range pkg.Files {
+		if pkg.Generated[file] {
+			continue
+		}
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -99,34 +139,90 @@ func ignoreDirectives(pkg *Package, findings *[]Finding) map[string]map[int][]st
 				if len(fields) < 2 {
 					*findings = append(*findings, Finding{
 						Rule: "directive", Pos: pos,
-						Message: "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+						Message: "malformed //lint:ignore directive: want \"//lint:ignore <rule>[,<rule>] <reason>\"",
 					})
 					continue
 				}
-				byLine := out[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					out[pos.Filename] = byLine
+				dir := &directive{
+					pos:  pos,
+					line: pkg.Fset.Position(c.End()).Line,
+					used: map[string]bool{},
 				}
-				end := pkg.Fset.Position(c.End())
-				byLine[end.Line] = append(byLine[end.Line], fields[0])
+				for _, r := range strings.Split(fields[0], ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						dir.rules = append(dir.rules, r)
+					}
+				}
+				byLine := ds.byFile[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*directive{}
+					ds.byFile[pos.Filename] = byLine
+				}
+				byLine[dir.line] = append(byLine[dir.line], dir)
+				ds.all = append(ds.all, dir)
 			}
 		}
 	}
-	return out
+	return ds
 }
 
-// Run executes the analyzers over the packages and returns the combined
-// findings sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		ignores := ignoreDirectives(pkg, &findings)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, ignores: ignores, findings: &findings}
-			a.Run(pass)
+// reportStale walks the directives after every analyzer ran and reports
+// the inert ones: a directive naming a rule that does not exist, and a
+// directive whose rule exists and was run but suppressed nothing on its
+// lines. Both are findings of the pseudo-rule "directive" — a stale
+// suppression is a silent hole in the contract it claims to cover.
+func reportStale(ds *directiveSet, ran []*Analyzer, findings *[]Finding) {
+	catalog := map[string]bool{}
+	for _, a := range All() {
+		catalog[a.Name] = true
+	}
+	active := map[string]bool{}
+	for _, a := range ran {
+		active[a.Name] = true
+	}
+	for _, dir := range ds.all {
+		for _, r := range dir.rules {
+			switch {
+			case r == "*":
+				if !dir.used["*"] {
+					*findings = append(*findings, Finding{
+						Rule: "directive", Pos: dir.pos,
+						Message: "stale suppression: the wildcard directive suppresses nothing on this line; delete it",
+					})
+				}
+			case !catalog[r]:
+				*findings = append(*findings, Finding{
+					Rule: "directive", Pos: dir.pos,
+					Message: fmt.Sprintf("directive names unknown rule %q; the suppression is inert (see cmd/lint -list for the catalog)", r),
+				})
+			case active[r] && !dir.used[r]:
+				*findings = append(*findings, Finding{
+					Rule: "directive", Pos: dir.pos,
+					Message: fmt.Sprintf("stale suppression: rule %s does not fire on this line; delete the directive", r),
+				})
+			}
 		}
 	}
+}
+
+// runPackage analyzes one package: directives are scanned (malformed
+// ones reported), every analyzer runs with the fact view, and stale
+// directives are reported last. Findings are returned unsorted; callers
+// sort the cross-package aggregate.
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *Facts) []Finding {
+	var findings []Finding
+	ds := scanDirectives(pkg, &findings)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, directives: ds, findings: &findings}
+		a.Run(pass)
+	}
+	reportStale(ds, analyzers, &findings)
+	return findings
+}
+
+// sortFindings orders findings by file, line, column, rule, message —
+// the deterministic order every entry point emits.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -135,8 +231,29 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
+}
+
+// Run executes the analyzers over the packages sequentially and returns
+// the combined findings sorted by position. Packages must be ordered
+// dependencies-first (go list -deps order, which Loader.Load preserves)
+// so cross-package facts are available when a dependent is analyzed;
+// self-contained fixture packages can be passed alone.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	facts := NewFacts()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		facts.Merge(ComputeFacts(pkg, facts))
+		findings = append(findings, runPackage(pkg, analyzers, facts)...)
+	}
+	sortFindings(findings)
 	return findings
 }
 
@@ -149,6 +266,11 @@ func All() []*Analyzer {
 		MutexByValue,
 		WireSymmetry,
 		BoundedLoop,
+		DeterminismTaint,
+		AtomicioBypass,
+		TimerCommit,
+		SnapshotMutation,
+		LockAcrossBlocking,
 	}
 }
 
@@ -174,10 +296,13 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// inspect walks every file of the pass's package, calling fn for each
-// node; fn returning false prunes the subtree.
+// inspect walks every non-generated file of the pass's package, calling
+// fn for each node; fn returning false prunes the subtree.
 func inspect(p *Pass, fn func(ast.Node) bool) {
 	for _, f := range p.Pkg.Files {
+		if p.Pkg.Generated[f] {
+			continue
+		}
 		ast.Inspect(f, fn)
 	}
 }

@@ -25,6 +25,9 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Generated marks files carrying the standard "Code generated ...
+	// DO NOT EDIT." header; analyzers and directive scanning skip them.
+	Generated map[*ast.File]bool
 	// TypeErrors collects soft type-checking errors; analysis proceeds
 	// on a best-effort basis when non-empty.
 	TypeErrors []error
@@ -75,6 +78,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	Export     string
 	Module     *struct{ Path, Dir string }
@@ -82,7 +86,8 @@ type listedPackage struct {
 }
 
 // goList runs `go list -deps -export -json` for the patterns and decodes
-// the package stream.
+// the package stream (dependencies before dependents — the topological
+// order fact propagation relies on).
 func (l *Loader) goList(patterns ...string) ([]*listedPackage, error) {
 	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -141,8 +146,9 @@ func (l *Loader) addExports(pkgs []*listedPackage) {
 }
 
 // Load parses and type-checks the module packages matched by patterns
-// (e.g. "./..."). Test files are not loaded: the lint contracts target
-// production code, and tests legitimately use wall-clock timeouts.
+// (e.g. "./..."), dependencies first. Test files are not loaded: the
+// lint contracts target production code, and tests legitimately use
+// wall-clock timeouts.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -156,13 +162,13 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	var out []*Package
 	for _, lp := range listed {
 		// -deps lists the full closure; only analyze main-module packages.
-		if lp.Standard || lp.Module == nil || lp.Dir == "" {
+		if !isModulePackage(lp) {
 			continue
 		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		pkg, err := l.check(lp)
+		pkg, err := l.check(lp, l.fset, l.imp)
 		if err != nil {
 			return nil, err
 		}
@@ -171,18 +177,33 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
-// check parses and type-checks one listed package.
-func (l *Loader) check(lp *listedPackage) (*Package, error) {
+// isModulePackage reports whether a listed package belongs to the main
+// module (as opposed to the standard library or a dependency module).
+func isModulePackage(lp *listedPackage) bool {
+	return !lp.Standard && lp.Module != nil && lp.Dir != ""
+}
+
+// check parses and type-checks one listed package with the given file
+// set and importer.
+func (l *Loader) check(lp *listedPackage, fset *token.FileSet, imp types.Importer) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
 		path := filepath.Join(lp.Dir, name)
-		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %v", path, err)
 		}
 		files = append(files, f)
 	}
-	return l.typeCheck(lp.ImportPath, lp.Dir, files)
+	return typeCheck(lp.ImportPath, lp.Dir, fset, imp, files)
+}
+
+// checkIsolated type-checks one listed package with its own file set
+// and importer, so concurrent workers never share go/types state. The
+// export-data index is shared through the loader's synchronized lookup.
+func (l *Loader) checkIsolated(lp *listedPackage) (*Package, error) {
+	fset := token.NewFileSet()
+	return l.check(lp, fset, importer.ForCompiler(fset, "gc", l.lookup))
 }
 
 // CheckSource type-checks in-memory sources as a package with the given
@@ -197,15 +218,16 @@ func (l *Loader) CheckSource(pkgPath string, sources map[string]string) (*Packag
 		}
 		files = append(files, f)
 	}
-	return l.typeCheck(pkgPath, "", files)
+	return typeCheck(pkgPath, "", l.fset, l.imp, files)
 }
 
-func (l *Loader) typeCheck(pkgPath, dir string, files []*ast.File) (*Package, error) {
+func typeCheck(pkgPath, dir string, fset *token.FileSet, imp types.Importer, files []*ast.File) (*Package, error) {
 	pkg := &Package{
-		Path:  pkgPath,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
+		Path:      pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Generated: map[*ast.File]bool{},
 		Info: &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Uses:       map[*ast.Ident]types.Object{},
@@ -214,11 +236,16 @@ func (l *Loader) typeCheck(pkgPath, dir string, files []*ast.File) (*Package, er
 			Implicits:  map[ast.Node]types.Object{},
 		},
 	}
+	for _, f := range files {
+		if ast.IsGenerated(f) {
+			pkg.Generated[f] = true
+		}
+	}
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: imp,
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
-	tpkg, err := conf.Check(pkgPath, l.fset, files, pkg.Info)
+	tpkg, err := conf.Check(pkgPath, fset, files, pkg.Info)
 	if err != nil && tpkg == nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
 	}

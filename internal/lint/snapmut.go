@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotMutation enforces the snapshot immutability contract:
+// internal/query publishes sealed snapshots through an atomic.Pointer
+// and readers access them lock-free, so a post-publication write is a
+// data race that no lock will ever surface. The rule tracks, within a
+// function, which local values have been handed to an
+// atomic.Pointer.Store and flags any later write through them
+// (field assignment, element assignment, increment). Build the next
+// snapshot fresh instead — publication is the freeze point.
+var SnapshotMutation = &Analyzer{
+	Name: "snapshot-mutation",
+	Doc:  "no writes through a value after it was published via atomic.Pointer.Store",
+	Run: func(p *Pass) {
+		for _, file := range p.Pkg.Files {
+			if p.Pkg.Generated[file] {
+				continue
+			}
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					w := &snapMutWalker{p: p, published: map[types.Object]bool{}}
+					w.stmts(fd.Body.List)
+				}
+			}
+		}
+	},
+}
+
+type snapMutWalker struct {
+	p         *Pass
+	published map[types.Object]bool
+}
+
+func (w *snapMutWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// stmt walks one statement: Store calls publish their argument's root
+// object; once any object is published, every statement is additionally
+// inspected for writes through published roots.
+func (w *snapMutWalker) stmt(s ast.Stmt) {
+	if len(w.published) > 0 {
+		w.checkWrites(s)
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.recordStore(s.X)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// recordStore registers the argument of an atomic.Pointer Store call as
+// published. The root object is resolved through one level of & so both
+// `cur.Store(snap)` and `cur.Store(&next)` freeze the right value.
+func (w *snapMutWalker) recordStore(e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	fn := calleeFunc(w.p.Pkg.Info, call.Fun)
+	if fn == nil || w.p.Facts.Of(fn).Publishes == "" {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if un, ok := arg.(*ast.UnaryExpr); ok {
+		arg = ast.Unparen(un.X)
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		if obj := w.p.Pkg.Info.Uses[id]; obj != nil {
+			w.published[obj] = true
+		}
+	}
+}
+
+// checkWrites flags assignments and increments whose target is rooted
+// at a published object.
+func (w *snapMutWalker) checkWrites(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			// Rebinding the variable to a fresh value is not a mutation of
+			// the published snapshot; it un-publishes the name.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := w.p.Pkg.Info.Uses[id]; obj != nil {
+					delete(w.published, obj)
+				}
+				continue
+			}
+			if obj := w.writeRoot(lhs); obj != nil {
+				w.p.Reportf(lhs.Pos(), "write to %s after it was published via atomic.Pointer.Store; published snapshots are immutable — build the next snapshot fresh", obj.Name())
+			}
+		}
+	case *ast.IncDecStmt:
+		if obj := w.writeRoot(s.X); obj != nil {
+			w.p.Reportf(s.X.Pos(), "write to %s after it was published via atomic.Pointer.Store; published snapshots are immutable — build the next snapshot fresh", obj.Name())
+		}
+	}
+}
+
+// writeRoot resolves a write target like snap.Counts[k] or snap.Seq to
+// its root object, returning it only when published. A bare identifier
+// target is a rebind, not a mutation, and is ignored.
+func (w *snapMutWalker) writeRoot(e ast.Expr) types.Object {
+	root := e
+	mutates := false
+	for {
+		switch t := ast.Unparen(root).(type) {
+		case *ast.SelectorExpr:
+			root, mutates = t.X, true
+		case *ast.IndexExpr:
+			root, mutates = t.X, true
+		case *ast.StarExpr:
+			root, mutates = t.X, true
+		case *ast.Ident:
+			if !mutates {
+				return nil
+			}
+			obj := w.p.Pkg.Info.Uses[t]
+			if obj != nil && w.published[obj] {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

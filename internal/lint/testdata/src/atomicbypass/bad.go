@@ -1,0 +1,27 @@
+package export
+
+import "os"
+
+// Direct non-atomic writes of artifact files: a crash mid-call leaves a
+// truncated report for readers.
+func saveReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicio-bypass
+}
+
+// The classic tmp+rename done by hand bypasses the fsync that makes the
+// rename durable; both halves are flagged.
+func saveDataset(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp) // want atomicio-bypass
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want atomicio-bypass
+}

@@ -1,0 +1,9 @@
+package export
+
+import "honeyfarm/internal/atomicio"
+
+// Routing through internal/atomicio is the sanctioned artifact write:
+// tmp file, fsync, atomic rename.
+func saveReport(path string, data []byte) error {
+	return atomicio.WriteFileBytes(path, data)
+}

@@ -1,0 +1,10 @@
+package export
+
+import "os"
+
+// A reasoned suppression: pid files are advisory and torn reads are
+// harmless, so the atomic-write machinery would be overkill.
+func savePidFile(path string, data []byte) error {
+	//lint:ignore atomicio-bypass fixture: advisory pid file, torn reads are harmless
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// persist is the durable sink: its (*os.File).Write call gives it a
+// Durable fact, so tainted values reaching it are reported.
+func persist(f *os.File, data []byte) error {
+	_, err := f.Write(data)
+	return err
+}
+
+// stamp is the nondeterminism source one call away: the taint rule sees
+// its Nondet fact at call sites, not the time.Now inside.
+func stamp() int64 {
+	return time.Now().UnixNano() // want nondeterminism
+}
+
+// A wall-clock value laundered through two locals still reaches the
+// durable write tainted.
+func writeStamped(f *os.File) error {
+	ts := stamp()
+	line := strconv.FormatInt(ts, 10) + "\n"
+	return persist(f, []byte(line)) // want determinism-taint
+}
+
+// Map iteration order is a nondeterminism source: emitting entries in
+// range order makes the artifact differ run to run.
+func writeCounts(f *os.File, counts map[string]int) error {
+	for name, n := range counts {
+		entry := fmt.Sprintf("%s %d\n", name, n)
+		if err := persist(f, []byte(entry)); err != nil { // want determinism-taint
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// persist is the durable sink (see bad.go); everything flowing into it
+// here is a pure function of the inputs.
+func persist(f *os.File, data []byte) error {
+	_, err := f.Write(data)
+	return err
+}
+
+// Timestamps derived from the configured epoch are deterministic.
+func writeStamped(f *os.File, epochNanos int64) error {
+	line := strconv.FormatInt(epochNanos, 10) + "\n"
+	return persist(f, []byte(line))
+}
+
+// Sorting the keys launders map-iteration taint: the emission order is
+// now a pure function of the map contents.
+func writeCounts(f *os.File, counts map[string]int) error {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entry := fmt.Sprintf("%s %d\n", name, counts[name])
+		if err := persist(f, []byte(entry)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package report
+
+import (
+	"os"
+	"strconv"
+	"time"
+)
+
+// persist is the durable sink (see bad.go).
+func persist(f *os.File, data []byte) error {
+	_, err := f.Write(data)
+	return err
+}
+
+// stamp reads the wall clock with a reasoned suppression.
+func stamp() int64 {
+	//lint:ignore nondeterminism fixture: a debug artifact outside the replay contract
+	return time.Now().UnixNano()
+}
+
+// The sink-side finding carries its own suppression: taint reports at
+// the argument that reaches the durable write.
+func writeStamped(f *os.File) error {
+	ts := stamp()
+	//lint:ignore determinism-taint fixture: debug artifact, not part of the replayable dataset
+	return persist(f, []byte(strconv.FormatInt(ts, 10)))
+}

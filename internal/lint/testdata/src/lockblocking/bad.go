@@ -1,0 +1,53 @@
+package lockblocking
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+type sink struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// seal wraps the fsync so the cross-function case below must be found
+// through the propagated Fsync fact, not the call text.
+func (s *sink) seal() error {
+	return s.f.Sync()
+}
+
+// An fsync under the mutex stalls every other writer for the duration
+// of the disk flush.
+func (s *sink) flush(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(rec); err != nil {
+		return err
+	}
+	return s.f.Sync() // want lock-across-blocking
+}
+
+// The same hazard one call away: seal carries the Fsync fact.
+func (s *sink) rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seal() // want lock-across-blocking
+}
+
+// A blocking channel send under the mutex couples lock hold time to an
+// arbitrary receiver.
+func (s *sink) notify(ch chan int, v int) {
+	s.mu.Lock()
+	ch <- v // want lock-across-blocking
+	s.mu.Unlock()
+}
+
+// Network writes block on the peer; under a mutex that is a farm-wide
+// stall.
+func (s *sink) send(c net.Conn, rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Write(rec) // want lock-across-blocking
+	return err
+}

@@ -1,0 +1,21 @@
+package lockblocking
+
+import (
+	"net"
+	"sync"
+)
+
+type wire struct {
+	writeMu sync.Mutex
+	conn    net.Conn
+}
+
+// A reasoned suppression: a write-serialization mutex exists precisely
+// to be held across the write.
+func (w *wire) writeFrame(frame []byte) error {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	//lint:ignore lock-across-blocking fixture: writeMu serializes frames; holding it across the write is its purpose
+	_, err := w.conn.Write(frame)
+	return err
+}

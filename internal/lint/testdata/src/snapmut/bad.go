@@ -1,0 +1,28 @@
+package snapmut
+
+import "sync/atomic"
+
+type snapshot struct {
+	seq    int
+	counts map[string]int
+}
+
+type engine struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// Mutating a snapshot after Store publishes it races with every
+// lock-free reader holding the pointer.
+func (e *engine) seal(next *snapshot) {
+	e.cur.Store(next)
+	next.seq++               // want snapshot-mutation
+	next.counts["total"] = 1 // want snapshot-mutation
+	next.counts["sealed"]++  // want snapshot-mutation
+}
+
+// Publication through &value freezes the value itself.
+func (e *engine) sealValue(seq int) {
+	next := snapshot{seq: seq, counts: map[string]int{}}
+	e.cur.Store(&next)
+	next.seq = seq + 1 // want snapshot-mutation
+}

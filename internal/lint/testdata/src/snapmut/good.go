@@ -1,0 +1,31 @@
+package snapmut
+
+import "sync/atomic"
+
+type snapshot struct {
+	seq    int
+	counts map[string]int
+}
+
+type engine struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// The sanctioned shape: finish building the snapshot, then publish it
+// as the last step — Store is the freeze point.
+func (e *engine) seal(seq int, counts map[string]int) {
+	next := &snapshot{seq: seq, counts: map[string]int{}}
+	for k, v := range counts {
+		next.counts[k] = v
+	}
+	next.seq = seq
+	e.cur.Store(next)
+}
+
+// Rebinding the variable to a fresh snapshot after publishing the old
+// one is not a mutation.
+func (e *engine) advance(next *snapshot) *snapshot {
+	e.cur.Store(next)
+	next = &snapshot{seq: next.seq + 1, counts: map[string]int{}}
+	return next
+}

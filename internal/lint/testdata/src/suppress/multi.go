@@ -1,0 +1,14 @@
+package workload
+
+import (
+	"os"
+	"time"
+)
+
+// One comma-separated directive suppresses three different rules firing
+// on the same line: the wall-clock read, the taint it carries into the
+// durable write, and the non-atomic write itself.
+func multi(path string) error {
+	//lint:ignore nondeterminism,determinism-taint,atomicio-bypass fixture: debug dump outside the replay contract
+	return os.WriteFile(path, []byte(time.Now().String()), 0o644)
+}

@@ -1,0 +1,11 @@
+package workload
+
+import "time"
+
+// Same-line directives take precedence over line-above directives: the
+// finding is consumed by the trailing directive, so the one on the line
+// above suppresses nothing and is reported stale.
+func precedence() time.Time {
+	//lint:ignore nondeterminism line-above directive, shadowed by the same-line one
+	return time.Now() //lint:ignore nondeterminism same-line directive wins
+}

@@ -1,0 +1,21 @@
+package workload
+
+// The directive names a rule that exists but fires nothing on this
+// line: a silent hole in the contract, reported as stale.
+func calm() int {
+	//lint:ignore nondeterminism nothing here reads the clock anymore
+	return 42
+}
+
+// The directive names a rule that does not exist — a typo or a removed
+// rule — so the suppression is inert; reported.
+func unknownRule() int {
+	//lint:ignore nondeterminsim typo'd rule name, suppresses nothing
+	return 7
+}
+
+// A wildcard that covers nothing is reported too.
+func wildcard() int {
+	//lint:ignore * belt-and-suspenders that suspends nothing
+	return 9
+}

@@ -1,0 +1,48 @@
+package timercommit
+
+import (
+	"os"
+	"time"
+)
+
+// sync wraps the fsync so the rule must see through the call via the
+// propagated Fsync/Durable fact.
+func sync(f *os.File) error {
+	return f.Sync()
+}
+
+// A ticker-driven fsync makes the on-disk state depend on wall-clock
+// scheduling instead of the record count.
+func flushLoop(f *os.File, done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := sync(f); err != nil { // want timer-commit
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// time.After in a select is the same hazard.
+func flushOnce(f *os.File, done chan struct{}) error {
+	select {
+	case <-time.After(time.Second):
+		return sync(f) // want timer-commit
+	case <-done:
+		return nil
+	}
+}
+
+// Ranging over time.Tick drives every iteration from the timer.
+func flushForever(f *os.File) {
+	for range time.Tick(time.Second) {
+		if err := sync(f); err != nil { // want timer-commit
+			return
+		}
+	}
+}

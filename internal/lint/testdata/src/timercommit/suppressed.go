@@ -1,0 +1,18 @@
+package timercommit
+
+import (
+	"os"
+	"time"
+)
+
+// A reasoned suppression: a last-resort flush on shutdown timeout is a
+// deliberate exception to the count-based contract.
+func flushDeadline(f *os.File, done chan struct{}) error {
+	select {
+	case <-time.After(5 * time.Second):
+		//lint:ignore timer-commit fixture: last-resort flush when shutdown overruns its budget
+		return f.Sync()
+	case <-done:
+		return nil
+	}
+}

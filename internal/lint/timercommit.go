@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TimerCommit enforces the commit-trigger contract: WAL syncs and
+// snapshot seals happen every N records (Options.SyncEvery,
+// SnapshotEvery) — a count, never a timer. A timer-driven commit makes
+// the on-disk artifact depend on wall-clock scheduling, which breaks
+// byte-identical replay and hides the batching bugs the count makes
+// deterministic. The rule flags any durable write or snapshot publish
+// (by fact, so a wrapper two packages away still counts) inside a
+// select case or range body driven by time.After, time.Tick, or a
+// Ticker/Timer channel. A timer that merely wakes a poll loop is fine:
+// the commit must live outside the timer-driven body.
+var TimerCommit = &Analyzer{
+	Name: "timer-commit",
+	Doc:  "WAL syncs and snapshot seals are count-based; no durable write or publish may be driven by a timer",
+	Run: func(p *Pass) {
+		inspect(p, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok || !timerDrivenComm(p, cc.Comm) {
+						continue
+					}
+					for _, s := range cc.Body {
+						reportTimerCommits(p, s)
+					}
+				}
+			case *ast.RangeStmt:
+				if timerChan(p, n.X) {
+					reportTimerCommits(p, n.Body)
+				}
+			}
+			return true
+		})
+	},
+}
+
+// timerDrivenComm reports whether a select comm clause receives from a
+// timer channel (`<-t.C:` or `v := <-time.After(d):`).
+func timerDrivenComm(p *Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	un, ok := recv.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	return timerChan(p, un.X)
+}
+
+// timerChan reports whether an expression is a timer-backed channel:
+// time.After(...), time.Tick(...), or the C field of a time.Ticker or
+// time.Timer.
+func timerChan(p *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return importedPkgPath(p.Pkg.Info, sel.X) == "time" &&
+			(sel.Sel.Name == "After" || sel.Sel.Name == "Tick")
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		t := p.Pkg.Info.Types[e.X].Type
+		if t == nil {
+			return false
+		}
+		path, name, ok := namedPathName(t)
+		return ok && path == "time" && (name == "Ticker" || name == "Timer")
+	}
+	return false
+}
+
+// reportTimerCommits flags every durable write or publish reached in a
+// timer-driven body.
+func reportTimerCommits(p *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Pkg.Info, call.Fun)
+		if fn == nil {
+			return true
+		}
+		facts := p.Facts.Of(fn)
+		switch {
+		case facts.Durable != "":
+			p.Reportf(call.Pos(), "durable write (%s) driven by a timer; the sync contract is count-based (SyncEvery), never timer-based", facts.Durable)
+		case facts.Publishes != "":
+			p.Reportf(call.Pos(), "snapshot publish (%s) driven by a timer; the seal contract is count-based (SnapshotEvery), never timer-based", facts.Publishes)
+		}
+		return true
+	})
+}

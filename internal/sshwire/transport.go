@@ -164,10 +164,16 @@ func (t *transport) writePacket(payload []byte) error {
 	}
 	t.write.seq++
 
+	// writeMu exists to serialize whole frames onto the wire — packet and
+	// MAC must hit the conn back-to-back with a consistent sequence
+	// number, so holding it across these writes is the invariant, not a
+	// hazard.
+	//lint:ignore lock-across-blocking writeMu serializes frame writes; holding it across the conn write is its purpose
 	if _, err := t.conn.Write(packet); err != nil {
 		return fmt.Errorf("sshwire: writing packet: %w", err)
 	}
 	if macSum != nil {
+		//lint:ignore lock-across-blocking writeMu serializes frame writes; holding it across the conn write is its purpose
 		if _, err := t.conn.Write(macSum); err != nil {
 			return fmt.Errorf("sshwire: writing MAC: %w", err)
 		}

@@ -1,11 +1,12 @@
 #!/bin/sh
 # bench.sh — record a benchmark baseline as BENCH_<n>.json in the repo
 # root, picking the first unused n. The default run covers the sharded
-# generation pipeline's scaling (BenchmarkGenerateWorkers) and the WAL
-# durability tax (BenchmarkWALAppendRecover); pass a different -bench
-# regexp and/or -benchtime as $1 and $2:
+# generation pipeline's scaling (BenchmarkGenerateWorkers), the WAL
+# durability tax (BenchmarkWALAppendRecover), and the analyzer engine's
+# cold/warm split (BenchmarkLintRepo); pass a different -bench regexp
+# and/or -benchtime as $1 and $2:
 #
-#   scripts/bench.sh                     # GenerateWorkers + WAL, 1x
+#   scripts/bench.sh                     # GenerateWorkers + WAL + lint, 1x
 #   scripts/bench.sh 'Generate' 3x       # wider sweep, 3 iterations
 #
 # The baseline embeds the machine's core count: worker-scaling numbers
@@ -15,7 +16,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-bench="${1:-GenerateWorkers|WALAppendRecover}"
+bench="${1:-GenerateWorkers|WALAppendRecover|LintRepo}"
 benchtime="${2:-1x}"
 
 n=1
@@ -40,15 +41,17 @@ raw=$(go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count 1 .)
     printf '%s\n' "$raw" | awk '
         /^Benchmark/ {
             name = $1; iters = $2; nsop = $3
-            sps = ""; rps = ""
+            sps = ""; rps = ""; pps = ""
             for (i = 4; i <= NF; i++) {
                 if ($i == "sessions/s") sps = $(i - 1)
                 if ($i == "records/s") rps = $(i - 1)
+                if ($i == "pkgs/s") pps = $(i - 1)
             }
             if (emitted) printf ",\n"
             printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
             if (sps != "") printf ", \"sessions_per_sec\": %s", sps
             if (rps != "") printf ", \"records_per_sec\": %s", rps
+            if (pps != "") printf ", \"packages_per_sec\": %s", pps
             printf "}"
             emitted = 1
         }

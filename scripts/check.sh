@@ -5,7 +5,11 @@
 #   gofmt        all source formatted
 #   go vet       toolchain static checks
 #   go build     the module compiles
-#   lint         the repo's own analyzer suite (see internal/lint), zero findings
+#   lint         the repo's own cross-package analyzer engine (see
+#                internal/lint) in -json mode, twice against a fresh
+#                cache: the cold run must be clean modulo the checked-in
+#                baseline, the warm run must be 100% cache hits with
+#                byte-identical output
 #   go test -race  full test suite under the race detector
 #   chaos smoke  the fault-injection suite (supervisor restarts, outage
 #                windows, bounded drain) once more under -race — the
@@ -24,6 +28,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -38,8 +45,19 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go run ./cmd/lint ./..."
-go run ./cmd/lint ./...
+echo "==> go run ./cmd/lint -json ./... (cold, then warm)"
+go run ./cmd/lint -json -cache-dir "$tmp/lintcache" ./... \
+    >"$tmp/lint-cold.json" 2>"$tmp/lint-cold.stats"
+sed 's/^/    /' "$tmp/lint-cold.stats"
+go run ./cmd/lint -json -cache-dir "$tmp/lintcache" ./... \
+    >"$tmp/lint-warm.json" 2>"$tmp/lint-warm.stats"
+sed 's/^/    /' "$tmp/lint-warm.stats"
+if ! grep -q ' 0 miss(es) ' "$tmp/lint-warm.stats"; then
+    echo "lint: warm run was not 100% cached:" >&2
+    cat "$tmp/lint-warm.stats" >&2
+    exit 1
+fi
+cmp "$tmp/lint-cold.json" "$tmp/lint-warm.json"
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -49,8 +67,6 @@ echo "==> chaos smoke (go test -race -count=1 -run '$chaos_run')"
 go test -race -count=1 -run "$chaos_run" ./internal/farm ./internal/netsim ./internal/faults
 
 echo "==> crash smoke (SIGKILL mid-generation, resume, diff)"
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/reproduce" ./cmd/reproduce
 go build -o "$tmp/fsck" ./cmd/fsck
 crash_args="-sessions 300000 -seed 7 -workers 2"
