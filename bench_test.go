@@ -361,18 +361,22 @@ func BenchmarkGenerateWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkWALAppendRecover measures the durability tax: appending the
-// shared dataset to a segmented WAL in generation-sized batches (with
-// group-commit fsync), and recovering it again with a full scan +
-// replay. scripts/bench.sh records both rows alongside the generation
-// baselines.
+// BenchmarkWALAppendRecover measures the durability tax, split into the
+// stages that compose it: "encode" is the pure v2 batch codec (no I/O),
+// "append" is the end-to-end write path with pipelined group commit
+// (the fsync of batch N overlaps the encode of batch N+1), "fsync" is
+// the same stream with a blocking Sync after every batch (the
+// un-pipelined worst case — the gap between the two rows is what the
+// commit pipeline buys), and "recover" is a full scan + replay.
+// scripts/bench.sh records all rows into BENCH_<n>.json, and
+// scripts/check.sh gates the "append" row against the latest baseline.
 func BenchmarkWALAppendRecover(b *testing.B) {
 	recs := benchDataset(b).Store.Records()
 	if len(recs) > 65536 {
 		recs = recs[:65536]
 	}
 	const batch = 4096
-	writeAll := func(dir string) {
+	writeAll := func(dir string, syncEach bool) {
 		b.Helper()
 		log, _, err := wal.Open(dir, wal.Options{Epoch: DefaultEpoch})
 		if err != nil {
@@ -386,25 +390,54 @@ func BenchmarkWALAppendRecover(b *testing.B) {
 			if err := log.AppendTagged(uint64(lo/batch), recs[lo:hi]); err != nil {
 				b.Fatal(err)
 			}
+			if syncEach {
+				if err := log.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 		if err := log.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}
 
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < len(recs); lo += batch {
+				hi := lo + batch
+				if hi > len(recs) {
+					hi = len(recs)
+				}
+				buf = wal.EncodeBatchFrame(buf[:0], uint64(lo/batch), recs[lo:hi])
+			}
+		}
+		b.ReportMetric(float64(len(recs))/b.Elapsed().Seconds()*float64(b.N), "records/s")
+	})
 	b.Run("append", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			dir := b.TempDir()
 			b.StartTimer()
-			writeAll(dir)
+			writeAll(dir, false)
+		}
+		b.ReportMetric(float64(len(recs))/b.Elapsed().Seconds()*float64(b.N), "records/s")
+	})
+	b.Run("fsync", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			writeAll(dir, true)
 		}
 		b.ReportMetric(float64(len(recs))/b.Elapsed().Seconds()*float64(b.N), "records/s")
 	})
 	b.Run("recover", func(b *testing.B) {
 		dir := b.TempDir()
-		writeAll(dir)
+		writeAll(dir, false)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -24,6 +24,7 @@ var DeterministicPkgSuffixes = []string{
 	"internal/scenario",
 	"internal/stats",
 	"internal/wal",
+	"internal/wire",
 	"internal/workload",
 }
 

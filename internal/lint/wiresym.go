@@ -17,9 +17,9 @@ var builderToReader = map[string]string{
 // rather than appending a wire field.
 var builderNonField = map[string]bool{"Bytes": true, "Len": true, "Reset": true}
 
-// readerNonField are exported *Reader methods that inspect state rather
-// than decoding a wire field.
-var readerNonField = map[string]bool{"Err": true, "Remaining": true, "Rest": true}
+// readerNonField are exported *Reader methods that inspect or configure
+// state rather than decoding a wire field.
+var readerNonField = map[string]bool{"Err": true, "Remaining": true, "Rest": true, "SetMaxStringLen": true}
 
 // WireSymmetry checks that a wire codec package stays round-trippable:
 // every exported field-appending method on Builder (those returning

@@ -1,0 +1,461 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/wire"
+)
+
+// quickRecord wraps a SessionRecord so testing/quick can generate it:
+// time.Time and the nested slices need a custom generator (quick cannot
+// fill unexported time fields), and strings are constrained to valid
+// UTF-8 because encoding/json replaces invalid bytes with U+FFFD —
+// "JSON semantics" is only well-defined on the UTF-8 domain.
+type quickRecord struct{ rec *honeypot.SessionRecord }
+
+func (quickRecord) Generate(r *rand.Rand, size int) reflect.Value {
+	str := func() string {
+		n := r.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			// Printable ASCII plus a few multi-byte runes.
+			sb.WriteRune([]rune("abcXYZ09 /.:-_é漢🐝")[r.Intn(17)])
+		}
+		return sb.String()
+	}
+	when := func() time.Time {
+		sec := int64(r.Intn(1 << 31)) // 1970..2038, well inside JSON's year range
+		nsec := int64(r.Intn(1e9))
+		// Whole-minute offsets: RFC 3339 (JSON's format) cannot carry a
+		// seconds component, so offsets with one are lossy under JSON too.
+		offset := (r.Intn(2*14*60) - 14*60) * 60
+		loc := time.UTC
+		if offset != 0 {
+			loc = time.FixedZone("", offset)
+		}
+		return time.Unix(sec, nsec).In(loc)
+	}
+	rec := &honeypot.SessionRecord{
+		ID:            r.Uint64(),
+		HoneypotID:    r.Intn(500) - 100, // include negatives: the codec must carry any int
+		Protocol:      honeypot.Protocol(r.Intn(2)),
+		ClientIP:      fmt.Sprintf("%d.%d.%d.%d", r.Intn(256), r.Intn(256), r.Intn(256), r.Intn(256)),
+		ClientPort:    r.Intn(65536),
+		Start:         when(),
+		End:           when(),
+		ClientVersion: str(),
+		Termination:   honeypot.Termination(r.Intn(4)),
+	}
+	for i := r.Intn(4); i > 0; i-- {
+		rec.Logins = append(rec.Logins, honeypot.LoginAttempt{User: str(), Password: str(), Success: r.Intn(2) == 0})
+	}
+	for i := r.Intn(4); i > 0; i-- {
+		rec.Commands = append(rec.Commands, honeypot.CommandRecord{Input: str(), Known: r.Intn(2) == 0})
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		rec.URIs = append(rec.URIs, "http://"+str())
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		rec.Files = append(rec.Files, honeypot.FileRecord{Path: str(), Hash: str(), Op: str(), Size: r.Intn(1 << 20)})
+	}
+	if r.Intn(2) == 0 {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		rec.Transcript = b
+	}
+	if len(rec.Transcript) == 0 {
+		rec.Transcript = nil
+	}
+	return reflect.ValueOf(quickRecord{rec})
+}
+
+// binaryRoundTrip pushes records through the v2 codec: encode as a
+// batch frame, validate the frame envelope, decode the payload.
+func binaryRoundTrip(t *testing.T, tag uint64, recs []*honeypot.SessionRecord) Batch {
+	t.Helper()
+	b := getFrameBuilder()
+	defer putFrameBuilder(b)
+	if err := encodeBatchFrame(b, FormatNameV2, tag, recs); err != nil {
+		t.Fatal(err)
+	}
+	frame := finishFrame(b)
+	payload, next, ok := nextFrame(frame, 0)
+	if !ok || next != int64(len(frame)) {
+		t.Fatalf("encoded frame does not validate (ok=%v next=%d len=%d)", ok, next, len(frame))
+	}
+	got, intact := decodeBatchV2(payload)
+	if !intact {
+		t.Fatal("encoded batch does not decode")
+	}
+	return got
+}
+
+// jsonRoundTrip is the v1 semantics oracle: what a record looks like
+// after passing through encoding/json.
+func jsonRoundTrip(t *testing.T, rec *honeypot.SessionRecord) *honeypot.SessionRecord {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &honeypot.SessionRecord{}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sameRecord compares two records with times compared by instant and
+// zone offset (JSON's Parse may pick environment-dependent but
+// offset-equal locations, so pointer-level location equality is not
+// part of the contract).
+func sameRecord(a, b *honeypot.SessionRecord) error {
+	sameTime := func(x, y time.Time) bool {
+		_, xo := x.Zone()
+		_, yo := y.Zone()
+		return x.Equal(y) && xo == yo
+	}
+	if !sameTime(a.Start, b.Start) || !sameTime(a.End, b.End) {
+		return fmt.Errorf("times differ: %v/%v vs %v/%v", a.Start, a.End, b.Start, b.End)
+	}
+	ax, bx := *a, *b
+	ax.Start, ax.End, bx.Start, bx.End = time.Time{}, time.Time{}, time.Time{}, time.Time{}
+	if !reflect.DeepEqual(ax, bx) {
+		return fmt.Errorf("records differ:\n  %+v\nvs\n  %+v", ax, bx)
+	}
+	return nil
+}
+
+// TestCodecMatchesJSONSemantics is the round-trip property test: for
+// arbitrary records, (1) a v2 round trip is observationally identical
+// to a v1 (JSON) round trip field by field, and (2) re-marshaling the
+// v2 round trip to JSON reproduces the original's JSON byte for byte —
+// so switching codecs can never change what recovers.
+func TestCodecMatchesJSONSemantics(t *testing.T) {
+	prop := func(q quickRecord, tag uint64) bool {
+		got := binaryRoundTrip(t, tag, []*honeypot.SessionRecord{q.rec})
+		if got.Tag != tag || len(got.Records) != 1 {
+			t.Logf("tag/len mismatch: %d/%d", got.Tag, len(got.Records))
+			return false
+		}
+		viaJSON := jsonRoundTrip(t, q.rec)
+		if err := sameRecord(got.Records[0], viaJSON); err != nil {
+			t.Logf("binary vs JSON round trip: %v", err)
+			return false
+		}
+		origJSON, err := json.Marshal(q.rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got.Records[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(origJSON, gotJSON) {
+			t.Logf("JSON drift:\n  %s\nvs\n  %s", origJSON, gotJSON)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecEmptySlicesDecodeNil pins the omitempty equivalence: empty
+// (but non-nil) slices come back nil from the codec, exactly as they
+// would from a JSON round trip.
+func TestCodecEmptySlicesDecodeNil(t *testing.T) {
+	rec := &honeypot.SessionRecord{
+		ID:         7,
+		Start:      testEpoch,
+		End:        testEpoch,
+		Logins:     []honeypot.LoginAttempt{},
+		Commands:   []honeypot.CommandRecord{},
+		URIs:       []string{},
+		Files:      []honeypot.FileRecord{},
+		Transcript: []byte{},
+	}
+	got := binaryRoundTrip(t, 0, []*honeypot.SessionRecord{rec}).Records[0]
+	if got.Logins != nil || got.Commands != nil || got.URIs != nil || got.Files != nil || got.Transcript != nil {
+		t.Fatalf("empty slices survived as non-nil: %+v", got)
+	}
+}
+
+// TestLargeBatchRoundTrip is the regression test for the wire string
+// cap: a batch whose payload — and a single field within it — exceeds
+// wire.MaxStringLen must encode and decode cleanly, because the cap is
+// per-Reader and the WAL codec lifts it to the payload size.
+func TestLargeBatchRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte{0xA5}, wire.MaxStringLen+4096)
+	recs := []*honeypot.SessionRecord{{
+		ID: 1, ClientIP: "10.0.0.1", Start: testEpoch, End: testEpoch,
+		Transcript: big,
+	}}
+	for i := 0; i < 64; i++ {
+		recs = append(recs, mkRecords(uint64(100+i), 1)...)
+	}
+	got := binaryRoundTrip(t, 42, recs)
+	if len(got.Records) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got.Records), len(recs))
+	}
+	if !bytes.Equal(got.Records[0].Transcript, big) {
+		t.Fatal("oversized transcript did not round-trip")
+	}
+
+	// And end to end through a log: the frame is well past 1 MiB.
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Epoch: testEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTagged(42, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records() != len(recs) {
+		t.Fatalf("recovered %d records, want %d", rec.Records(), len(recs))
+	}
+	if !bytes.Equal(rec.Batches[0].Records[0].Transcript, big) {
+		t.Fatal("oversized transcript did not survive the log")
+	}
+}
+
+// writeFormatted writes n tagged batches to a fresh or existing log in
+// the given format and returns what was appended.
+func writeFormatted(t *testing.T, dir, format string, firstTag uint64, n int, segBytes int64) []Batch {
+	t.Helper()
+	l, _, err := Open(dir, Options{Epoch: testEpoch, Format: format, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Batch
+	for i := 0; i < n; i++ {
+		tag := firstTag + uint64(i)
+		recs := mkRecords(tag*10+1, 2)
+		if err := l.AppendTagged(tag, recs); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Batch{Tag: tag, Records: recs})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// iterateAll drains an Iterator over a quiescent directory.
+func iterateAll(t *testing.T, dir string) []Batch {
+	t.Helper()
+	it, err := NewIterator(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out []Batch
+	for {
+		b, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, b)
+	}
+}
+
+// TestCrossFormatRead pins the compatibility contract: a pure v1
+// directory, a pure v2 directory, and a mixed v1→v2 directory (a
+// mid-run upgrade: reopened with the v2 default, forced through a
+// rotation) must recover identically through Open, Verify, and the
+// Iterator, and the recorded segment formats must be what each writer
+// declared.
+func TestCrossFormatRead(t *testing.T) {
+	const segBytes = 1024 // small segments: every fixture spans several
+
+	t.Run("v1", func(t *testing.T) {
+		dir := t.TempDir()
+		want := writeFormatted(t, dir, FormatName, 0, 20, segBytes)
+		_, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBatches(t, rec.Batches, want)
+		for _, seg := range rec.Segments {
+			if seg.Format != FormatName {
+				t.Fatalf("segment %s has format %q, want v1", seg.Name, seg.Format)
+			}
+		}
+		sameBatches(t, iterateAll(t, dir), want)
+	})
+
+	t.Run("v2", func(t *testing.T) {
+		dir := t.TempDir()
+		want := writeFormatted(t, dir, FormatNameV2, 0, 20, segBytes)
+		_, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBatches(t, rec.Batches, want)
+		for _, seg := range rec.Segments {
+			if seg.Format != FormatNameV2 {
+				t.Fatalf("segment %s has format %q, want v2", seg.Name, seg.Format)
+			}
+		}
+		sameBatches(t, iterateAll(t, dir), want)
+	})
+
+	t.Run("mixed-upgrade", func(t *testing.T) {
+		dir := t.TempDir()
+		want := writeFormatted(t, dir, FormatName, 0, 10, segBytes)
+		// Upgrade mid-run: the reopened log resumes the v1 tail segment in
+		// v1 and switches to v2 at the next rotation.
+		want = append(want, writeFormatted(t, dir, FormatNameV2, 10, 10, segBytes)...)
+
+		rec, err := Verify(dir, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawV1, sawV2 := false, false
+		upgraded := false
+		for _, seg := range rec.Segments {
+			switch seg.Format {
+			case FormatName:
+				sawV1 = true
+				if upgraded {
+					t.Fatalf("v1 segment %s after the v2 switch", seg.Name)
+				}
+			case FormatNameV2:
+				sawV2 = true
+				upgraded = true
+			default:
+				t.Fatalf("segment %s has format %q", seg.Name, seg.Format)
+			}
+		}
+		if !sawV1 || !sawV2 {
+			t.Fatalf("fixture is not mixed: v1=%v v2=%v (%d segments)", sawV1, sawV2, len(rec.Segments))
+		}
+		sameBatches(t, rec.Batches, want)
+
+		_, orec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBatches(t, orec.Batches, want)
+		sameBatches(t, iterateAll(t, dir), want)
+	})
+}
+
+// TestResumedSegmentKeepsFormat pins the homogeneity rule: appends to a
+// resumed v1 segment stay v1 even when the log is configured for v2, so
+// a segment never holds two codecs.
+func TestResumedSegmentKeepsFormat(t *testing.T) {
+	dir := t.TempDir()
+	// Large segment threshold: everything lands in wal-00000001.seg.
+	want := writeFormatted(t, dir, FormatName, 0, 3, 8<<20)
+
+	l, _, err := Open(dir, Options{}) // v2 default
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecords(900, 2)
+	if err := l.AppendTagged(99, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, Batch{Tag: 99, Records: recs})
+
+	rec, err := Verify(dir, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Segments) != 1 {
+		t.Fatalf("expected a single segment, got %d", len(rec.Segments))
+	}
+	if rec.Segments[0].Format != FormatName {
+		t.Fatalf("resumed segment flipped to %q", rec.Segments[0].Format)
+	}
+	sameBatches(t, rec.Batches, want)
+}
+
+// TestUnknownFormatRefused: an Options format outside the two known
+// names is a configuration error, and a meta frame declaring an unknown
+// format is corruption, not a tear.
+func TestUnknownFormatRefused(t *testing.T) {
+	if _, _, err := Open(t.TempDir(), Options{Epoch: testEpoch, Format: "honeyfarm-wal-v9"}); err == nil {
+		t.Fatal("Open accepted an unknown format option")
+	}
+	if _, _, _, err := decodeMeta(metaPayload(t, "honeyfarm-wal-v9", 1), segmentName(1), 1, time.Time{}); err == nil {
+		t.Fatal("decodeMeta accepted an unknown recorded format")
+	}
+}
+
+// metaPayload builds a meta-frame payload with an arbitrary format
+// string.
+func metaPayload(t *testing.T, format string, seq uint64) []byte {
+	t.Helper()
+	body, err := json.Marshal(metaBody{Format: format, Segment: seq, Epoch: testEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte{kindMeta}, body...)
+}
+
+// TestEncodeDecodeBatchFrame: the exported frame codec produces
+// self-contained frames that decode back to back from one buffer, with
+// the frame CRC catching any flipped byte.
+func TestEncodeDecodeBatchFrame(t *testing.T) {
+	batches := []Batch{
+		{Tag: 7, Records: mkRecords(100, 2)},
+		{Tag: 8, Records: nil},
+		{Tag: 9, Records: mkRecords(300, 1)},
+	}
+	var buf []byte
+	for _, b := range batches {
+		buf = EncodeBatchFrame(buf, b.Tag, b.Records)
+	}
+	for i, want := range batches {
+		got, n, err := DecodeBatchFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Tag != want.Tag || len(got.Records) != len(want.Records) {
+			t.Fatalf("frame %d: tag=%d records=%d, want tag=%d records=%d",
+				i, got.Tag, len(got.Records), want.Tag, len(want.Records))
+		}
+		for j := range want.Records {
+			if err := sameRecord(jsonRoundTrip(t, want.Records[j]), got.Records[j]); err != nil {
+				t.Fatalf("frame %d record %d: %v", i, j, err)
+			}
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after last frame", len(buf))
+	}
+
+	// A flipped byte is caught by the frame CRC.
+	frame := EncodeBatchFrame(nil, 1, mkRecords(400, 1))
+	frame[len(frame)-1] ^= 0xff
+	if _, _, err := DecodeBatchFrame(frame); err == nil {
+		t.Fatal("corrupt frame decoded cleanly")
+	}
+}

@@ -36,6 +36,7 @@ type Iterator struct {
 	f       *os.File  // current segment, nil before open / after advance
 	buf     []byte    // bytes read beyond off, not yet consumed
 	sawMeta bool      // current segment's meta frame has been consumed
+	format  string    // current segment's batch codec (from its meta frame)
 }
 
 // maxStepsPerNext caps the internal frame/segment advance loop of one
@@ -100,7 +101,7 @@ func (it *Iterator) Next() (Batch, bool, error) {
 		it.buf = it.buf[n:]
 		it.off += n
 		if !it.sawMeta {
-			epoch, intact, err := decodeMeta(payload, segmentName(it.seq), it.seq, it.epoch)
+			epoch, format, intact, err := decodeMeta(payload, segmentName(it.seq), it.seq, it.epoch)
 			if err != nil {
 				return Batch{}, false, err
 			}
@@ -109,10 +110,11 @@ func (it *Iterator) Next() (Batch, bool, error) {
 				return Batch{}, false, fmt.Errorf("wal: segment %s does not start with a meta frame", segmentName(it.seq))
 			}
 			it.epoch = epoch
+			it.format = format
 			it.sawMeta = true
 			continue
 		}
-		b, intact := decodeBatch(payload)
+		b, intact := decodeBatch(payload, it.format)
 		if !intact {
 			return Batch{}, false, fmt.Errorf("wal: segment %s has an undecodable frame at offset %d", segmentName(it.seq), it.off-n)
 		}

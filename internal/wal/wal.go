@@ -13,7 +13,14 @@
 //
 //	uint32 LE  payload length n
 //	uint32 LE  CRC-32C (Castagnoli) of the payload
-//	n bytes    payload: 1 kind byte + JSON body
+//	n bytes    payload: 1 kind byte + body
+//
+// The meta frame's body is always JSON, and its Format field declares
+// how the segment's batch bodies are encoded: "honeyfarm-wal-v1" is
+// JSON, "honeyfarm-wal-v2" is the binary record codec (codec.go). A
+// directory may mix segment formats — an upgraded collector resumes a
+// v1 tail in v1 and switches to v2 at the next rotation — and every
+// reader (Open, Verify, Repair, Iterator, fsck) dispatches per segment.
 //
 // Appends go to the highest segment; when it exceeds the configured
 // byte threshold it is fsynced, closed, and a new segment is opened.
@@ -21,6 +28,12 @@
 // can tear at most the tail of the final segment — the recovery
 // invariant the torn-tail rule and the crash-at-every-offset property
 // test depend on.
+//
+// Group commits are pipelined: a single committer goroutine owns the
+// asynchronous fsyncs, so the fsync of group N overlaps the encode and
+// write of group N+1. The schedule stays strictly count-based
+// (SyncEvery records per group, never a timer), so the flush points are
+// a deterministic function of the append stream.
 package wal
 
 import (
@@ -38,10 +51,18 @@ import (
 
 	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/store"
+	"honeyfarm/internal/wire"
 )
 
-// FormatName identifies the WAL on-disk format.
-const FormatName = "honeyfarm-wal-v1"
+// Format names recorded in segment meta frames. The name selects the
+// batch-body codec for every frame in that segment.
+const (
+	// FormatName is the v1 format: JSON batch bodies.
+	FormatName = "honeyfarm-wal-v1"
+	// FormatNameV2 is the v2 format: binary batch bodies in SSH wire
+	// style (internal/wire). The default for newly created segments.
+	FormatNameV2 = "honeyfarm-wal-v2"
+)
 
 // Frame kinds (first payload byte).
 const (
@@ -70,16 +91,27 @@ type Options struct {
 	// so the flush schedule is a deterministic function of the append
 	// stream. 1 syncs every append.
 	SyncEvery int
+	// Format selects the codec for newly created segments: FormatNameV2
+	// (the default) or FormatName for the JSON codec. A resumed segment
+	// always keeps its recorded format until rotation, whatever this
+	// says, so frames within one segment are homogeneous.
+	Format string
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 512
 	}
-	return o
+	if o.Format == "" {
+		o.Format = FormatNameV2
+	}
+	if o.Format != FormatName && o.Format != FormatNameV2 {
+		return o, fmt.Errorf("wal: unknown format %q", o.Format)
+	}
+	return o, nil
 }
 
 // Batch is one recovered record batch. Tag carries the caller's label
@@ -90,13 +122,14 @@ type Batch struct {
 	Records []*honeypot.SessionRecord
 }
 
-// batchBody is the JSON body of a batch frame.
+// batchBody is the JSON body of a v1 batch frame.
 type batchBody struct {
 	Tag     uint64                    `json:"tag"`
 	Records []*honeypot.SessionRecord `json:"records"`
 }
 
-// metaBody is the JSON body of a segment meta frame.
+// metaBody is the JSON body of a segment meta frame (JSON in every
+// format — it is what declares the format).
 type metaBody struct {
 	Format  string    `json:"format"`
 	Segment uint64    `json:"segment"`
@@ -109,6 +142,9 @@ type SegmentStat struct {
 	Name string
 	// Seq is the segment sequence number parsed from the name.
 	Seq uint64
+	// Format is the codec the segment's meta frame declares (empty when
+	// the meta frame itself was torn).
+	Format string
 	// Frames and Records count the intact batch frames and the records
 	// they carry (the meta frame is not counted).
 	Frames  int
@@ -158,6 +194,13 @@ func (r *Recovery) Replay() *store.Store {
 // Log is an open write-ahead log. All methods are safe for concurrent
 // use; concurrent Appends serialize, so the frame order is the
 // serialization order.
+//
+// Appends are acknowledged once written; durability arrives with the
+// group commit, whose fsync runs on the committer goroutine. An
+// asynchronous fsync failure is held sticky and returned by every
+// subsequent Append/Sync/Close, so a caller that stops appending on
+// the first error (store.Store's DurableErr contract) never outruns an
+// unreported sync failure by more than one group.
 type Log struct {
 	dir  string
 	opts Options
@@ -166,8 +209,20 @@ type Log struct {
 	f       *os.File // current segment
 	seq     uint64   // current segment sequence number
 	size    int64    // current segment size
-	pending int      // records appended since the last fsync
+	format  string   // current segment's batch codec
+	pending int      // records appended since the last sync request
 	closed  bool
+
+	// Pipelined group commit: the committer goroutine performs the
+	// fsyncs requested through syncReq and acknowledges on syncDone, so
+	// an appender that just crossed SyncEvery hands off the sync and
+	// returns to encoding. Pipeline depth is one: a second request
+	// first waits out the in-flight predecessor.
+	syncReq       chan *os.File
+	syncDone      chan error
+	committerDone chan struct{}
+	syncInFlight  bool
+	syncErr       error
 }
 
 // segmentName formats the file name of segment seq.
@@ -215,7 +270,10 @@ func listSegments(dir string) ([]SegmentStat, error) {
 // their successor existed, so damage there is corruption, not a crash
 // artifact; use Repair to salvage the intact prefix.
 func Open(dir string, opts Options) (*Log, *Recovery, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
@@ -223,7 +281,13 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{
+		dir:           dir,
+		opts:          opts,
+		syncReq:       make(chan *os.File, 1),
+		syncDone:      make(chan error, 1),
+		committerDone: make(chan struct{}),
+	}
 	l.opts.Epoch = rec.Epoch
 
 	if n := len(rec.Segments); n > 0 {
@@ -242,10 +306,14 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("wal: seeking segment end: %w", err)
 		}
-		l.f, l.seq, l.size = f, last.Seq, last.GoodBytes
+		// A resumed segment keeps the codec its meta frame declares, so
+		// frames within it stay homogeneous; the configured format takes
+		// over at the next rotation.
+		l.f, l.seq, l.size, l.format = f, last.Seq, last.GoodBytes, last.Format
 		// A fully torn final segment lost even its meta frame; rewrite it
 		// so the segment stands alone again.
 		if l.size == 0 {
+			l.format = l.opts.Format
 			if err := l.writeMetaLocked(); err != nil {
 				f.Close()
 				return nil, nil, err
@@ -256,6 +324,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 			return nil, nil, err
 		}
 	}
+	go l.committer()
 	return l, rec, nil
 }
 
@@ -294,7 +363,8 @@ func scan(dir string, epoch time.Time, truncating bool) (*Recovery, error) {
 // returning its intact batches. The first frame must be a meta frame
 // whose format and sequence match; an epoch mismatch against an already
 // established epoch is an error, a zero established epoch adopts the
-// recorded one.
+// recorded one. Batch frames decode with the codec the meta frame
+// declares.
 func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
 	data, err := os.ReadFile(filepath.Join(dir, seg.Name))
 	if err != nil {
@@ -311,7 +381,7 @@ func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
 			break
 		}
 		if first {
-			epoch, intact, err := decodeMeta(payload, seg.Name, seg.Seq, rec.Epoch)
+			epoch, format, intact, err := decodeMeta(payload, seg.Name, seg.Seq, rec.Epoch)
 			if err != nil {
 				return nil, err
 			}
@@ -319,11 +389,12 @@ func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
 				break // damaged meta frame: treat as torn at offset 0
 			}
 			rec.Epoch = epoch
+			seg.Format = format
 			first = false
 			off = next
 			continue
 		}
-		b, intact := decodeBatch(payload)
+		b, intact := decodeBatch(payload, seg.Format)
 		if !intact {
 			break // unknown kind or undecodable body: stop at the last understood frame
 		}
@@ -341,33 +412,37 @@ func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
 // decodeMeta validates a segment's leading meta-frame payload against
 // the segment's name and sequence and an already-established epoch (a
 // zero established epoch adopts the recorded one; the returned epoch is
-// the established one either way). intact is false when the payload is
-// not a decodable meta frame — damaged bytes the caller treats as a
-// torn tail. err reports format, sequence or epoch mismatches: those
-// frames decoded fine, so the damage is corruption, not a tear.
-func decodeMeta(payload []byte, name string, seq uint64, established time.Time) (epoch time.Time, intact bool, err error) {
+// the established one either way), and returns the batch codec the
+// segment declares. intact is false when the payload is not a decodable
+// meta frame — damaged bytes the caller treats as a torn tail. err
+// reports format, sequence or epoch mismatches: those frames decoded
+// fine, so the damage is corruption, not a tear.
+func decodeMeta(payload []byte, name string, seq uint64, established time.Time) (epoch time.Time, format string, intact bool, err error) {
 	var meta metaBody
 	if len(payload) == 0 || payload[0] != kindMeta || json.Unmarshal(payload[1:], &meta) != nil {
-		return time.Time{}, false, nil
+		return time.Time{}, "", false, nil
 	}
-	if meta.Format != FormatName {
-		return time.Time{}, false, fmt.Errorf("wal: segment %s has unknown format %q", name, meta.Format)
+	if meta.Format != FormatName && meta.Format != FormatNameV2 {
+		return time.Time{}, "", false, fmt.Errorf("wal: segment %s has unknown format %q", name, meta.Format)
 	}
 	if meta.Segment != seq {
-		return time.Time{}, false, fmt.Errorf("wal: segment %s records sequence %d", name, meta.Segment)
+		return time.Time{}, "", false, fmt.Errorf("wal: segment %s records sequence %d", name, meta.Segment)
 	}
 	if established.IsZero() {
-		return meta.Epoch, true, nil
+		return meta.Epoch, meta.Format, true, nil
 	}
 	if !meta.Epoch.Equal(established) {
-		return time.Time{}, false, fmt.Errorf("wal: segment %s epoch %s does not match %s", name, meta.Epoch, established)
+		return time.Time{}, "", false, fmt.Errorf("wal: segment %s epoch %s does not match %s", name, meta.Epoch, established)
 	}
-	return established, true, nil
+	return established, meta.Format, true, nil
 }
 
-// decodeBatch decodes a batch-frame payload. intact is false for an
-// unknown frame kind or an undecodable body.
-func decodeBatch(payload []byte) (Batch, bool) {
+// decodeBatch decodes a batch-frame payload with the segment's codec.
+// intact is false for an unknown frame kind or an undecodable body.
+func decodeBatch(payload []byte, format string) (Batch, bool) {
+	if format == FormatNameV2 {
+		return decodeBatchV2(payload)
+	}
 	if len(payload) == 0 || payload[0] != kindBatch {
 		return Batch{}, false
 	}
@@ -376,6 +451,24 @@ func decodeBatch(payload []byte) (Batch, bool) {
 		return Batch{}, false
 	}
 	return Batch{Tag: body.Tag, Records: body.Records}, true
+}
+
+// encodeBatchFrame builds a complete batch frame for the given format
+// into b (which holds a reserved header, see getFrameBuilder). The kind
+// byte and body are appended directly to the frame buffer — no
+// intermediate payload copy in either format.
+func encodeBatchFrame(b *wire.Builder, format string, tag uint64, recs []*honeypot.SessionRecord) error {
+	b.Byte(kindBatch)
+	if format == FormatNameV2 {
+		encodeBatchV2(b, tag, recs)
+		return nil
+	}
+	body, err := json.Marshal(batchBody{Tag: tag, Records: recs})
+	if err != nil {
+		return fmt.Errorf("wal: encoding batch: %w", err)
+	}
+	b.Raw(body)
+	return nil
 }
 
 // nextFrame validates the frame at off and returns its payload and the
@@ -399,14 +492,6 @@ func nextFrame(data []byte, off int64) (payload []byte, next int64, ok bool) {
 	return payload, off + frameHeaderSize + int64(n), true
 }
 
-// appendFrame encodes one frame around payload.
-func appendFrame(buf []byte, payload []byte) []byte {
-	var hdr [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-	return append(append(buf, hdr[:]...), payload...)
-}
-
 // Dir returns the WAL directory.
 func (l *Log) Dir() string { return l.dir }
 
@@ -422,31 +507,49 @@ func (l *Log) Append(recs []*honeypot.SessionRecord) error {
 // AppendTagged logs one batch under the given tag (the generation
 // checkpoint tags batches with their shard index). The frame is written
 // atomically with respect to recovery: either the whole batch replays
-// or none of it does. The write is fsynced once SyncEvery records have
-// accumulated since the last sync.
+// or none of it does. A group commit is requested once SyncEvery
+// records have accumulated since the last one; the fsync itself runs on
+// the committer goroutine, overlapping this caller's (and the next
+// caller's) encode work.
 func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
-	body, err := json.Marshal(batchBody{Tag: tag, Records: recs})
-	if err != nil {
-		return fmt.Errorf("wal: encoding batch: %w", err)
+	// Encode outside the lock into a pooled frame buffer: this is the
+	// half of the pipeline that overlaps the committer's fsync.
+	b := getFrameBuilder()
+	defer putFrameBuilder(b)
+	format := l.formatHint()
+	if err := encodeBatchFrame(b, format, tag, recs); err != nil {
+		return err
 	}
-	payload := append([]byte{kindBatch}, body...)
-	frame := appendFrame(nil, payload)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
 	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if l.format != format {
+		// A rotation between the hint and the lock switched codecs (at
+		// most once per log lifetime, on a v1→v2 upgrade); re-encode for
+		// the segment the frame will actually land in.
+		b.Reset()
+		var hdr [frameHeaderSize]byte
+		b.Raw(hdr[:])
+		if err := encodeBatchFrame(b, l.format, tag, recs); err != nil {
+			return err
+		}
+	}
+	frame := finishFrame(b)
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: appending frame: %w", err)
 	}
 	l.size += int64(len(frame))
 	l.pending += len(recs)
 	if l.pending >= l.opts.SyncEvery {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+		if err := l.requestSyncLocked(); err != nil {
+			return err
 		}
-		l.pending = 0
 	}
 	if l.size >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -456,21 +559,71 @@ func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
 	return nil
 }
 
-// pendingRecords returns the records appended since the last fsync —
-// the group-commit policy's observable state (used by tests).
+// formatHint reads the current segment's codec for the out-of-lock
+// encode. It is only a hint: AppendTagged re-checks under the lock.
+func (l *Log) formatHint() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.format
+}
+
+// committer is the group-commit goroutine: it performs every
+// asynchronous fsync so appenders can encode the next group while the
+// previous one reaches disk. It is driven purely by the count-based
+// requests — there is no timer anywhere in the commit path.
+func (l *Log) committer() {
+	defer close(l.committerDone)
+	for f := range l.syncReq {
+		l.syncDone <- f.Sync()
+	}
+}
+
+// waitSyncLocked collects the outstanding asynchronous fsync, if any,
+// holding its error sticky. Every path that closes, rotates, or syncs
+// the current segment file waits here first, so the committer never
+// touches a file descriptor that has been handed off or closed.
+func (l *Log) waitSyncLocked() error {
+	if l.syncInFlight {
+		if err := <-l.syncDone; err != nil && l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: sync: %w", err)
+		}
+		l.syncInFlight = false
+	}
+	return l.syncErr
+}
+
+// requestSyncLocked hands the current segment to the committer. The
+// pipeline is one deep: group N+1 is encoded and written while group N
+// syncs, and a request first waits out its predecessor.
+func (l *Log) requestSyncLocked() error {
+	if err := l.waitSyncLocked(); err != nil {
+		return err
+	}
+	l.syncReq <- l.f
+	l.syncInFlight = true
+	l.pending = 0
+	return nil
+}
+
+// pendingRecords returns the records appended since the last group
+// commit was requested — the group-commit policy's observable state
+// (used by tests).
 func (l *Log) pendingRecords() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.pending
 }
 
-// Sync forces an fsync of the current segment regardless of the
-// group-commit counter.
+// Sync forces a synchronous fsync of the current segment regardless of
+// the group-commit counter, after collecting any in-flight group.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.waitSyncLocked(); err != nil {
+		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
@@ -479,8 +632,8 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-// Close syncs and closes the log. The directory remains valid for a
-// later Open.
+// Close syncs and closes the log, stopping the committer goroutine.
+// The directory remains valid for a later Open.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -488,6 +641,13 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	syncErr := l.waitSyncLocked()
+	close(l.syncReq)
+	<-l.committerDone
+	if syncErr != nil {
+		l.f.Close()
+		return syncErr
+	}
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("wal: sync on close: %w", err)
@@ -497,8 +657,12 @@ func (l *Log) Close() error {
 
 // rotateLocked seals the current segment (fsync + close) and opens the
 // next one. Sealing before the successor exists is what confines torn
-// tails to the final segment.
+// tails to the final segment; any in-flight group commit is collected
+// first so the seal covers every written frame.
 func (l *Log) rotateLocked() error {
+	if err := l.waitSyncLocked(); err != nil {
+		return err
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync before rotation: %w", err)
 	}
@@ -510,12 +674,13 @@ func (l *Log) rotateLocked() error {
 }
 
 // rollLocked opens segment seq for appending and writes its meta frame.
+// New segments always use the configured codec.
 func (l *Log) rollLocked(seq uint64) error {
 	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(seq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
-	l.f, l.seq, l.size = f, seq, 0
+	l.f, l.seq, l.size, l.format = f, seq, 0, l.opts.Format
 	if err := l.writeMetaLocked(); err != nil {
 		f.Close()
 		return err
@@ -523,13 +688,18 @@ func (l *Log) rollLocked(seq uint64) error {
 	return nil
 }
 
-// writeMetaLocked writes (and syncs) the current segment's meta frame.
+// writeMetaLocked writes (and syncs) the current segment's meta frame,
+// declaring the segment's batch codec.
 func (l *Log) writeMetaLocked() error {
-	body, err := json.Marshal(metaBody{Format: FormatName, Segment: l.seq, Epoch: l.opts.Epoch})
+	body, err := json.Marshal(metaBody{Format: l.format, Segment: l.seq, Epoch: l.opts.Epoch})
 	if err != nil {
 		return fmt.Errorf("wal: encoding meta: %w", err)
 	}
-	frame := appendFrame(nil, append([]byte{kindMeta}, body...))
+	b := getFrameBuilder()
+	defer putFrameBuilder(b)
+	b.Byte(kindMeta)
+	b.Raw(body)
+	frame := finishFrame(b)
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: writing meta frame: %w", err)
 	}

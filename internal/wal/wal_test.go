@@ -147,10 +147,18 @@ func TestSegmentRotation(t *testing.T) {
 // TestCrashAtEveryOffset is the recovery property test: a WAL whose
 // final segment is truncated at EVERY byte boundary must always open
 // without error and recover exactly the intact-frame prefix — never a
-// partial frame, never a corrupt record, never an error.
+// partial frame, never a corrupt record, never an error. It runs once
+// per codec: the torn-tail dichotomy must hold for v1 and v2 segments
+// alike.
 func TestCrashAtEveryOffset(t *testing.T) {
+	for _, format := range []string{FormatName, FormatNameV2} {
+		t.Run(format, func(t *testing.T) { testCrashAtEveryOffset(t, format) })
+	}
+}
+
+func testCrashAtEveryOffset(t *testing.T, format string) {
 	build := t.TempDir()
-	l, _, err := Open(build, Options{Epoch: testEpoch, SegmentBytes: 1500})
+	l, _, err := Open(build, Options{Epoch: testEpoch, SegmentBytes: 1500, Format: format})
 	if err != nil {
 		t.Fatal(err)
 	}

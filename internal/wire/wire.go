@@ -24,8 +24,11 @@ var (
 	ErrStringTooLong = errors.New("wire: string length exceeds limit")
 )
 
-// MaxStringLen caps individual string fields. SSH packets are bounded at
-// 35000 bytes by RFC 4253 §6.1, so no legitimate field can exceed this.
+// MaxStringLen is the default cap on individual string fields. SSH
+// packets are bounded at 35000 bytes by RFC 4253 §6.1, so no legitimate
+// SSH field can exceed this. The cap is per-Reader (SetMaxStringLen):
+// the WAL's binary batch codec reuses this package for payloads that
+// legitimately run far past the SSH bound.
 const MaxStringLen = 1 << 20
 
 // Builder accumulates an SSH wire-format message. The zero value is ready
@@ -37,6 +40,13 @@ type Builder struct {
 // NewBuilder returns a Builder with capacity preallocated for n bytes.
 func NewBuilder(n int) *Builder {
 	return &Builder{buf: make([]byte, 0, n)}
+}
+
+// NewBuilderFrom returns a Builder that appends to buf, reusing its
+// capacity (pass buf[:0] to overwrite). The buffer is surrendered to
+// the Builder until retrieved with Bytes.
+func NewBuilderFrom(buf []byte) *Builder {
+	return &Builder{buf: buf}
 }
 
 // Bytes returns the accumulated message. The returned slice aliases the
@@ -137,13 +147,27 @@ func (b *Builder) MPIntBytes(v []byte) *Builder {
 
 // Reader decodes SSH wire-format fields from a buffer.
 type Reader struct {
-	buf []byte
-	pos int
-	err error
+	buf    []byte
+	pos    int
+	err    error
+	maxStr uint32
 }
 
 // NewReader returns a Reader over buf. The Reader does not copy buf.
-func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+// String fields are capped at MaxStringLen; callers decoding formats
+// with a different bound adjust it with SetMaxStringLen.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf, maxStr: MaxStringLen} }
+
+// SetMaxStringLen replaces this Reader's string-length sanity cap. The
+// cap only rejects declared lengths (the buffer bound is always
+// enforced separately), so raising it never admits reads past the
+// buffer; n <= 0 leaves only the buffer bound.
+func (r *Reader) SetMaxStringLen(n int) {
+	if n <= 0 || n > len(r.buf) {
+		n = len(r.buf)
+	}
+	r.maxStr = uint32(n)
+}
 
 // Err returns the first decoding error encountered, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -212,7 +236,7 @@ func (r *Reader) String() []byte {
 	if r.err != nil {
 		return nil
 	}
-	if n > MaxStringLen {
+	if n > r.maxStr {
 		r.fail(fmt.Errorf("%w: %d", ErrStringTooLong, n))
 		return nil
 	}

@@ -110,6 +110,51 @@ func TestReaderStringTooLong(t *testing.T) {
 	}
 }
 
+// TestSetMaxStringLen: the string cap is per-Reader. The SSH default
+// stays MaxStringLen, but a caller decoding a format with larger fields
+// (the WAL's v2 batch codec) can lift it — and the lifted cap still
+// never admits a read past the buffer.
+func TestSetMaxStringLen(t *testing.T) {
+	big := make([]byte, MaxStringLen+3)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	b := new(Builder)
+	b.String(big)
+
+	// Default cap refuses the field even though the bytes are all there.
+	r := NewReader(b.Bytes())
+	if r.String() != nil || r.Err() == nil {
+		t.Fatal("default cap admitted a string over MaxStringLen")
+	}
+
+	// A lifted per-Reader cap reads it back intact.
+	r = NewReader(b.Bytes())
+	r.SetMaxStringLen(len(b.Bytes()))
+	got := r.String()
+	if r.Err() != nil {
+		t.Fatalf("lifted cap failed: %v", r.Err())
+	}
+	if len(got) != len(big) || got[0] != 0 || got[len(got)-1] != big[len(big)-1] {
+		t.Fatalf("read %d bytes, want %d", len(got), len(big))
+	}
+
+	// Lifting the cap cannot outrun the buffer: a declared length past
+	// the end is still a short-buffer error, never a large allocation.
+	tr := NewReader(b.Bytes()[:10])
+	tr.SetMaxStringLen(1 << 30)
+	if tr.String() != nil || tr.Err() == nil {
+		t.Fatal("lifted cap admitted a truncated string")
+	}
+
+	// A lowered cap tightens the default.
+	r = NewReader(b.Bytes())
+	r.SetMaxStringLen(16)
+	if r.String() != nil || r.Err() == nil {
+		t.Fatal("lowered cap admitted an oversized string")
+	}
+}
+
 func TestReaderBytesNegative(t *testing.T) {
 	r := NewReader([]byte{1, 2, 3})
 	if got := r.Bytes(-1); got != nil {

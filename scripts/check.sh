@@ -24,6 +24,10 @@
 #                cleanly with zero leaked goroutines
 #   bench smoke  every benchmark runs once (-benchtime=1x), so a broken
 #                benchmark cannot sit undetected until a baseline run
+#   bench gate   BenchmarkWALAppendRecover/append is re-run and must
+#                stay within 20% of the latest checked-in BENCH_<n>.json
+#                baseline, so a WAL write-path regression fails the gate
+#                instead of waiting for someone to re-record baselines
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -170,5 +174,36 @@ fi
 
 echo "==> benchmark smoke (go test -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x ./... >/dev/null
+
+echo "==> WAL append gate (>=80% of latest BENCH_<n>.json)"
+baseline=""
+n=1
+while [ -e "BENCH_${n}.json" ]; do
+    baseline="BENCH_${n}.json"
+    n=$((n + 1))
+done
+if [ -z "$baseline" ]; then
+    echo "    no BENCH_<n>.json baseline checked in; skipping"
+else
+    want=$(grep -o '"name": "BenchmarkWALAppendRecover/append[^}]*' "$baseline" |
+        grep -o '"records_per_sec": [0-9.eE+]*' | head -1 | awk '{print $2}')
+    if [ -z "$want" ]; then
+        echo "bench gate: $baseline has no BenchmarkWALAppendRecover/append row" >&2
+        exit 1
+    fi
+    got=$(go test -run '^$' -bench 'WALAppendRecover/append$' -benchtime 3x -count 1 . |
+        awk '$1 ~ /^BenchmarkWALAppendRecover\/append/ {
+            for (i = 4; i <= NF; i++) if ($i == "records/s") print $(i - 1)
+        }')
+    if [ -z "$got" ]; then
+        echo "bench gate: benchmark produced no records/s metric" >&2
+        exit 1
+    fi
+    echo "    append: ${got} records/s now vs ${want} in ${baseline}"
+    if ! awk -v got="$got" -v want="$want" 'BEGIN { exit !(got + 0 >= 0.8 * (want + 0)) }'; then
+        echo "bench gate: append throughput dropped >20% vs ${baseline}" >&2
+        exit 1
+    fi
+fi
 
 echo "all checks passed"
