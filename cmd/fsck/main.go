@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"honeyfarm/internal/atomicio"
+	"honeyfarm/internal/iofault"
 	"honeyfarm/internal/store"
 	"honeyfarm/internal/wal"
 )
@@ -68,6 +69,14 @@ func checkWAL(dir string, repair bool) bool {
 		return false
 	}
 	printWAL(dir, rec)
+	if len(rec.OrphanedTmp) > 0 && repair {
+		swept, err := atomicio.SweepTmp(iofault.OS, dir)
+		if err != nil {
+			fmt.Printf("%s: sweeping orphaned tmp files: %v\n", dir, err)
+			return false
+		}
+		fmt.Printf("%s: swept %d orphaned tmp file(s)\n", dir, len(swept))
+	}
 	if rec.Healthy() {
 		return crossCheckWAL(dir, rec.Records())
 	}
@@ -130,6 +139,18 @@ func printWAL(dir string, rec *wal.Recovery) {
 		}
 		fmt.Printf("  %-16s %-6s %-8d %-9d %-10d %-11d %s\n",
 			s.Name, format, s.Frames, s.Records, s.Bytes, s.GoodBytes, state)
+	}
+	// Outage gaps are not damage — they are the degraded writer's own
+	// count-and-drop accounting — but an operator auditing a log needs
+	// to see what a disk outage cost.
+	for _, g := range rec.Gaps {
+		fmt.Printf("  gap: %s: %d batches, %d records dropped\n", g.Reason, g.Batches, g.Records)
+	}
+	// Orphaned tmp files are leftovers of a crash between an atomic
+	// write's Close and Rename; Open sweeps them, -repair sweeps them
+	// here, and they never count against health.
+	for _, name := range rec.OrphanedTmp {
+		fmt.Printf("  orphaned tmp: %s\n", name)
 	}
 }
 

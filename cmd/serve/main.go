@@ -24,6 +24,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; exposed only behind -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -49,6 +50,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "bound on concurrently rendered responses")
 	clientRows := flag.Int("client-rows", 100, "maximum rows served by /v1/clients")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
 
 	if *walDir == "" {
@@ -103,7 +105,18 @@ func main() {
 	}
 	log.Printf("serve: listening on %s, tailing %s", ln.Addr(), *walDir)
 
-	srv := &http.Server{Handler: api.Handler()}
+	handler := api.Handler()
+	if *pprofFlag {
+		// The pprof mux registers itself on http.DefaultServeMux at
+		// import time; mount it beside the API so a live process can be
+		// profiled without a second listener. Off by default: the API is
+		// cacheable public data, a heap profile is not.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

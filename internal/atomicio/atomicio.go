@@ -4,6 +4,12 @@
 // the complete new one — never a half-written report or dataset, which
 // is the failure mode a SIGKILL mid-write leaves behind with a plain
 // os.Create.
+//
+// All I/O goes through an iofault.FS, so the tmp+fsync+rename sequence
+// can be crash- and fault-tested at every syscall boundary; WriteFile
+// and WriteFileBytes default to the real filesystem. A crash between
+// Close and Rename strands <path>.tmp — StaleTmp lists such orphans and
+// SweepTmp removes them (wal.Open sweeps its directory on every open).
 package atomicio
 
 import (
@@ -12,32 +18,46 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+
+	"honeyfarm/internal/iofault"
 )
 
-// WriteFile atomically replaces path with the bytes produced by write.
-// The temporary file is <path>.tmp in the same directory (same
-// filesystem, so the rename is atomic); it is removed on any failure.
-// After the rename the directory is fsynced best-effort so the new
-// entry itself survives a crash.
+// tmpSuffix is the temporary-file suffix the write path uses and the
+// sweep helpers look for.
+const tmpSuffix = ".tmp"
+
+// WriteFile atomically replaces path with the bytes produced by write,
+// on the real filesystem.
 func WriteFile(path string, write func(w io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	return WriteFileFS(iofault.OS, path, write)
+}
+
+// WriteFileFS atomically replaces path with the bytes produced by
+// write, performing all I/O through fsys. The temporary file is
+// <path>.tmp in the same directory (same filesystem, so the rename is
+// atomic); it is removed on any failure. After the rename the directory
+// is fsynced best-effort so the new entry itself survives a crash.
+func WriteFileFS(fsys iofault.FS, path string, write func(w io.Writer) error) error {
+	tmp := path + tmpSuffix
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("atomicio: creating %s: %w", tmp, err)
 	}
 	if err := write(f); err != nil {
-		return abandon(err, f, tmp)
+		return abandon(fsys, err, f, tmp)
 	}
 	if err := f.Sync(); err != nil {
-		return abandon(fmt.Errorf("atomicio: syncing %s: %w", tmp, err), f, tmp)
+		return abandon(fsys, fmt.Errorf("atomicio: syncing %s: %w", tmp, err), f, tmp)
 	}
 	if err := f.Close(); err != nil {
-		return abandon(fmt.Errorf("atomicio: closing %s: %w", tmp, err), nil, tmp)
+		return abandon(fsys, fmt.Errorf("atomicio: closing %s: %w", tmp, err), nil, tmp)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return abandon(fmt.Errorf("atomicio: renaming into place: %w", err), nil, tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return abandon(fsys, fmt.Errorf("atomicio: renaming into place: %w", err), nil, tmp)
 	}
-	syncDir(filepath.Dir(path))
+	syncDir(fsys, filepath.Dir(path))
 	return nil
 }
 
@@ -45,11 +65,11 @@ func WriteFile(path string, write func(w io.Writer) error) error {
 // (when still open) and removing tmp. The primary error is returned
 // unchanged when cleanup succeeds; a failed removal is joined onto it
 // so a stranded .tmp is never silent.
-func abandon(primary error, f *os.File, tmp string) error {
+func abandon(fsys iofault.FS, primary error, f iofault.File, tmp string) error {
 	if f != nil {
 		f.Close()
 	}
-	if rerr := os.Remove(tmp); rerr != nil && !os.IsNotExist(rerr) {
+	if rerr := fsys.Remove(tmp); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
 		return errors.Join(primary, fmt.Errorf("atomicio: removing %s: %w", tmp, rerr))
 	}
 	return primary
@@ -57,18 +77,59 @@ func abandon(primary error, f *os.File, tmp string) error {
 
 // WriteFileBytes is WriteFile for ready-made content.
 func WriteFileBytes(path string, data []byte) error {
-	return WriteFile(path, func(w io.Writer) error {
+	return WriteFileBytesFS(iofault.OS, path, data)
+}
+
+// WriteFileBytesFS is WriteFileFS for ready-made content.
+func WriteFileBytesFS(fsys iofault.FS, path string, data []byte) error {
+	return WriteFileFS(fsys, path, func(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	})
+}
+
+// StaleTmp lists the *.tmp entries in dir, sorted by name — the orphans
+// a crash between Close and Rename leaves behind. Every .tmp in a
+// directory owned by this package's write discipline is garbage: a
+// write in progress has the file open, and there is no open writer
+// across a crash.
+func StaleTmp(fsys iofault.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SweepTmp removes the *.tmp orphans in dir and returns the names it
+// removed. Only safe under the single-writer assumption the WAL already
+// makes: no concurrent WriteFileFS may be mid-flight in dir.
+func SweepTmp(fsys iofault.FS, dir string) ([]string, error) {
+	names, err := StaleTmp(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("atomicio: sweeping %s: %w", name, err)
+		}
+	}
+	return names, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed entry is durable. The
 // sync is best-effort by design: some filesystems refuse directory
 // fsync, and the rename itself already happened, so a refusal must not
 // fail the write that triggered it.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
+func syncDir(fsys iofault.FS, dir string) {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return
 	}

@@ -1,12 +1,16 @@
 package farm
 
 import (
+	"errors"
 	"io"
+	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
 	"honeyfarm/internal/faults"
 	"honeyfarm/internal/geo"
+	"honeyfarm/internal/iofault"
 	"honeyfarm/internal/sshwire"
 	"honeyfarm/internal/wal"
 )
@@ -68,6 +72,110 @@ func TestDurableCollectorSurvivesInWAL(t *testing.T) {
 	want := f.Collector().Records()[0]
 	if got.ClientIP != want.ClientIP || got.HoneypotID != want.HoneypotID || !got.Start.Equal(want.Start) {
 		t.Fatalf("replayed record %+v != collected %+v", got, want)
+	}
+}
+
+// TestENOSPCWindowFarm: a disk-full window while the farm is live is
+// count-and-drop, not crash. Records collected during the outage stay
+// in the dataset and are counted in Stats.DurableLost; when the disk
+// heals, the WAL resumes on a fresh segment without a process restart,
+// and recovery reads the outage back as a gap frame.
+func TestENOSPCWindowFarm(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	epoch := time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+	fsys, err := iofault.New(iofault.OS, iofault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := wal.Open(dir, wal.Options{
+		Epoch: epoch, SyncEvery: 1, FS: fsys,
+		RetryAttempts: 2,
+		RetryPlan:     &faults.Plan{BackoffBaseMS: 1, BackoffCapMS: 1},
+		ProbeEvery:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := geo.NewRegistry(geo.Config{Seed: 1})
+	f, err := New(Config{
+		Seed: 1, NumPots: 4, NumASes: 4,
+		Countries: []string{"US", "SG", "DE", "JP"},
+		Registry:  reg, Epoch: epoch, Durable: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// session drives one SSH login against pot 1, producing one record.
+	session := func(ip string, wantLen int) {
+		t.Helper()
+		nc, err := f.Fabric().Dial(ip, f.SSHAddr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := sshwire.NewClientConn(nc, &sshwire.ClientConfig{User: "root", Password: "admin"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc.Close()
+		waitFor(t, 5*time.Second, func() bool { return f.Collector().Len() == wantLen }, "record collected")
+	}
+
+	// Healthy disk: the first record persists cleanly.
+	session("203.0.113.20", 1)
+	if n := f.Stats().DurableLost; n != 0 {
+		t.Fatalf("durable lost = %d before the outage, want 0", n)
+	}
+
+	// Disk full: the record is collected, counted as lost, and the farm
+	// keeps running.
+	fsys.Break(syscall.ENOSPC)
+	session("203.0.113.21", 2)
+	if n := f.Stats().DurableLost; n != 1 {
+		t.Fatalf("durable lost = %d during the outage, want 1", n)
+	}
+	derr := f.DurableErr()
+	if !errors.Is(derr, wal.ErrDegraded) || !errors.Is(derr, syscall.ENOSPC) {
+		t.Fatalf("durable error %v, want ErrDegraded wrapping ENOSPC", derr)
+	}
+	if h := log.Health(); !h.Degraded {
+		t.Fatalf("WAL not degraded during the outage: %+v", h)
+	}
+
+	// Heal: the next record's append probes (ProbeEvery: 1), rolls a
+	// fresh segment, and persists — no restart, no new losses.
+	fsys.Heal()
+	session("203.0.113.22", 3)
+	h := log.Health()
+	if h.Degraded || h.Recoveries != 1 || h.DroppedRecords != 1 {
+		t.Fatalf("WAL health after heal = %+v, want recovered with 1 dropped record", h)
+	}
+	if n := f.Stats().DurableLost; n != 1 {
+		t.Fatalf("durable lost = %d after heal, want still 1", n)
+	}
+
+	f.Stop()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+
+	// Recovery sees the two persisted records plus a gap frame carrying
+	// the outage's loss accounting.
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Replay().Len() != 2 {
+		t.Fatalf("recovered %d records, want 2", rec.Replay().Len())
+	}
+	if len(rec.Gaps) != 1 || rec.Gaps[0].Records != 1 || rec.Gaps[0].Reason != "append: enospc" {
+		t.Fatalf("recovered gaps %+v, want one append:enospc gap of 1 record", rec.Gaps)
 	}
 }
 

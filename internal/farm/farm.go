@@ -90,6 +90,11 @@ type Stats struct {
 	// DroppedRecords counts session records discarded because their pot
 	// was down or shutdown had passed the drain deadline.
 	DroppedRecords int
+	// DurableLost counts records the collector accepted in memory but
+	// could not persist through the durable sink — a degraded WAL's
+	// count-and-drop losses, distinct from DroppedRecords (which never
+	// reached the collector at all).
+	DurableLost int
 }
 
 // potState is the supervisor's view of one honeypot.
@@ -245,8 +250,13 @@ func (f *Farm) Honeypot(i int) *honeypot.Honeypot { return f.pots[i] }
 // Stats returns a snapshot of the operational counters.
 func (f *Farm) Stats() Stats {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	s := f.stats
+	f.mu.Unlock()
+	// The collector owns durable-loss accounting; fold it in here so one
+	// snapshot answers both "what never arrived" and "what arrived but
+	// did not persist".
+	s.DurableLost = f.collector.DurableLost()
+	return s
 }
 
 // FaultReport renders the farm's loss accounting as a faults.Report

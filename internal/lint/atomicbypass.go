@@ -17,15 +17,18 @@ var atomicioWriteNames = map[string]bool{
 // (tmp + fsync + rename), so a reader observes either the old file or
 // the complete new one. The rule covers the packages that produce
 // artifacts — the deterministic pipeline and every command — and
-// exempts internal/atomicio itself (the rename lives there) and
+// exempts internal/atomicio itself (the rename lives there),
 // internal/wal, whose segment files have their own recovery protocol
-// (CRC-framed records, torn-tail truncation on open).
+// (CRC-framed records, torn-tail truncation on open), and
+// internal/iofault, whose os-backed FS is the passthrough the atomic
+// write discipline is built on.
 var AtomicioBypass = &Analyzer{
 	Name: "atomicio-bypass",
 	Doc:  "artifact files are written through internal/atomicio, not direct os.Create/os.Rename/os.WriteFile",
 	Run: func(p *Pass) {
 		path := p.Pkg.Path
-		if pathHasSuffix(path, "internal/atomicio") || pathHasSuffix(path, "internal/wal") {
+		if pathHasSuffix(path, "internal/atomicio") || pathHasSuffix(path, "internal/wal") ||
+			pathHasSuffix(path, "internal/iofault") {
 			return
 		}
 		if !deterministicPkg(path) && !strings.Contains(path, "/cmd/") {

@@ -16,7 +16,7 @@ import (
 // analyzerVersion participates in every cache key; bump it whenever a
 // rule's behavior or the fact model changes so stale results can never
 // be served from disk.
-const analyzerVersion = "honeyfarm-lint/6"
+const analyzerVersion = "honeyfarm-lint/7"
 
 // cacheEntry is one package's cached analysis result: the exact key it
 // was computed under, the package findings (pre-baseline, sorted), and

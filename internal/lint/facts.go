@@ -155,6 +155,21 @@ func sourceFacts(key string) FuncFacts {
 	if strings.HasSuffix(key, "/store.DurableSink).Append") {
 		return FuncFacts{Durable: key, Fsync: key}
 	}
+	// The fault-injectable filesystem abstraction: its write-path methods
+	// carry the same facts as their os counterparts, so durability and
+	// fsync reach propagate through code that writes via iofault.FS
+	// exactly as it did when it called *os.File directly. OpenFile is
+	// deliberately unseeded — it is also the read path, and tainting it
+	// would mark pure readers (the WAL iterator, the query follower) as
+	// durable writers.
+	switch {
+	case strings.HasSuffix(key, "/iofault.File).Sync"):
+		return FuncFacts{Durable: key, Fsync: key}
+	case strings.HasSuffix(key, "/iofault.File).Write"),
+		strings.HasSuffix(key, "/iofault.File).Truncate"),
+		strings.HasSuffix(key, "/iofault.FS).Rename"):
+		return FuncFacts{Durable: key}
+	}
 	return FuncFacts{}
 }
 

@@ -206,7 +206,9 @@ func (w *lockWalker) checkCall(call *ast.CallExpr, held map[string]bool) {
 		return
 	}
 	if facts := w.p.Facts.Of(fn); facts.Fsync != "" {
-		w.report(call.Pos(), held, "fsync ("+facts.Fsync+")")
+		// Source facts carry the raw funcKey; shorten it so direct calls
+		// and propagated chains render provenance the same way.
+		w.report(call.Pos(), held, "fsync ("+shortKey(facts.Fsync)+")")
 		return
 	}
 	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "net" {

@@ -18,6 +18,7 @@ var DeterministicPkgSuffixes = []string{
 	"internal/analysis",
 	"internal/faults",
 	"internal/geo",
+	"internal/iofault",
 	"internal/malware",
 	"internal/query",
 	"internal/report",

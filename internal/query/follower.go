@@ -85,6 +85,15 @@ func (f *Follower) Position() (seq uint64, off int64) {
 	return f.it.Pos()
 }
 
+// WALGaps returns the degraded-mode outage records the tail has crossed
+// so far, in log order — the read side's view of what a degraded writer
+// counted and dropped. The serving layer folds these into /v1/healthz.
+func (f *Follower) WALGaps() []wal.Gap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.it.Gaps()
+}
+
 // run is the tail loop: drain, seal on progress, pause, repeat — until
 // Stop or a terminal error.
 func (f *Follower) run() {

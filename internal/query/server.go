@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/wal"
 )
 
 // ServerConfig parameterizes NewServer.
@@ -35,6 +36,11 @@ type ServerConfig struct {
 	// Follower, when the engine is fed by a WAL tail, surfaces its
 	// position and terminal error in /v1/healthz. Optional.
 	Follower *Follower
+	// WALHealth, when the serving process also owns the WAL writer,
+	// supplies its degraded-mode snapshot for /v1/healthz: a degraded
+	// writer turns the status to "degraded:wal" (HTTP 503) and its
+	// count-and-drop losses appear as wal_dropped_records. Optional.
+	WALHealth func() wal.Health
 	// MaxInflight bounds concurrently rendered responses (default 64).
 	MaxInflight int
 	// ClientRows is the default (and maximum) row count for /v1/clients
@@ -46,6 +52,7 @@ type ServerConfig struct {
 type Server struct {
 	engine     *Engine
 	follower   *Follower
+	walHealth  func() wal.Health
 	sem        chan struct{}
 	clientRows int
 
@@ -74,6 +81,7 @@ func NewServer(cfg ServerConfig) *Server {
 	return &Server{
 		engine:     cfg.Engine,
 		follower:   cfg.Follower,
+		walHealth:  cfg.WALHealth,
 		sem:        make(chan struct{}, cfg.MaxInflight),
 		clientRows: cfg.ClientRows,
 		cache:      make(map[string]*cacheEntry),
@@ -174,7 +182,14 @@ type healthzResponse struct {
 	Days        int    `json:"days"`
 	WALSegment  uint64 `json:"wal_segment,omitempty"`
 	WALOffset   int64  `json:"wal_offset,omitempty"`
-	Error       string `json:"error,omitempty"`
+	// WALDroppedRecords and WALDropReason carry the WAL's count-and-drop
+	// loss accounting: records the writer refused while degraded, from
+	// the writer's Health snapshot (WALHealth) or the gap frames the
+	// follower's tail has crossed. Both omitted when nothing was lost,
+	// keeping healthy responses byte-stable.
+	WALDroppedRecords int    `json:"wal_dropped_records,omitempty"`
+	WALDropReason     string `json:"wal_drop_reason,omitempty"`
+	Error             string `json:"error,omitempty"`
 }
 
 // limitParam parses ?limit= clamped to [0, max]; absent selects max.
@@ -286,9 +301,28 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.follower != nil {
 		resp.WALSegment, resp.WALOffset = s.follower.Position()
+		// Gap frames are the degraded writer's outage records; the last
+		// one's reason labels the losses.
+		for _, g := range s.follower.WALGaps() {
+			resp.WALDroppedRecords += g.Records
+			resp.WALDropReason = g.Reason
+		}
 		if err := s.follower.Err(); err != nil {
 			resp.Status = "degraded"
 			resp.Error = err.Error()
+		}
+	}
+	if s.walHealth != nil {
+		// The in-process writer's view is authoritative: it sees drops the
+		// tail has not crossed yet (an open outage has no gap frame until
+		// recovery writes one).
+		h := s.walHealth()
+		if h.DroppedRecords > 0 {
+			resp.WALDroppedRecords = h.DroppedRecords
+		}
+		if h.Degraded {
+			resp.Status = "degraded:wal"
+			resp.WALDropReason = h.Reason
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

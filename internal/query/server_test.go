@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"encoding/json"
 	"flag"
 	"io"
 	"net/http"
@@ -8,12 +9,17 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"honeyfarm"
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/iofault"
 	"honeyfarm/internal/malware"
 	"honeyfarm/internal/query"
+	"honeyfarm/internal/wal"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the endpoint golden files")
@@ -211,6 +217,100 @@ func TestConcurrentReads(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestHealthzDegradedWAL pins the degraded-disk health contract: an
+// in-process writer inside an outage flips /v1/healthz to
+// "degraded:wal" (HTTP 503) with its count-and-drop accounting, and a
+// follower that crossed the recovery gap frame surfaces the same
+// losses from the read side while itself staying "ok".
+func TestHealthzDegradedWAL(t *testing.T) {
+	dir := t.TempDir()
+	fsys, err := iofault.New(iofault.OS, iofault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := wal.Open(dir, wal.Options{
+		Epoch: honeyfarm.DefaultEpoch, SyncEvery: 1, FS: fsys, ProbeEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(id uint64) []*honeypot.SessionRecord {
+		start := honeyfarm.DefaultEpoch.Add(time.Hour)
+		return []*honeypot.SessionRecord{{ID: id, Start: start, End: start}}
+	}
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Break(syscall.EIO)
+	if err := l.Append(rec(2)); err == nil {
+		t.Fatal("append on a broken disk succeeded")
+	}
+
+	type walHealthz struct {
+		Status  string `json:"status"`
+		Dropped int    `json:"wal_dropped_records"`
+		Reason  string `json:"wal_drop_reason"`
+	}
+	healthz := func(srv *httptest.Server) (*http.Response, walHealthz) {
+		t.Helper()
+		resp, body := get(t, srv, "/v1/healthz")
+		var h walHealthz
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("decoding healthz %q: %v", body, err)
+		}
+		return resp, h
+	}
+
+	// Writer side: the WALHealth hook sees the open outage.
+	eng := query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: 1})
+	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng, WALHealth: l.Health}).Handler())
+	defer srv.Close()
+	resp, h := healthz(srv)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d, want 503", resp.StatusCode)
+	}
+	if h.Status != "degraded:wal" || h.Dropped != 1 || h.Reason == "" {
+		t.Fatalf("degraded healthz = %+v, want degraded:wal with 1 dropped record", h)
+	}
+
+	// Heal: the next append probes (ProbeEvery: 1), recovers onto a
+	// fresh segment, and records the outage as a gap frame.
+	fsys.Heal()
+	if err := l.Append(rec(3)); err != nil {
+		t.Fatal(err)
+	}
+	resp, h = healthz(srv)
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healed healthz = %d %+v, want 200 ok", resp.StatusCode, h)
+	}
+	if h.Dropped != 1 {
+		t.Fatalf("healed healthz lost the drop accounting: %+v", h)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read side: a follower crossing the gap frame reports the writer's
+	// losses without being degraded itself.
+	eng2 := query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: 1})
+	f, err := query.NewFollower(eng2, dir, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+	waitUntil(t, "records tailed", func() bool { return eng2.Snapshot().Seq == 2 })
+	srv2 := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng2, Follower: f}).Handler())
+	defer srv2.Close()
+	resp, h = healthz(srv2)
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("follower healthz = %d %+v, want 200 ok", resp.StatusCode, h)
+	}
+	if h.Dropped != 1 || h.Reason != "append: eio" {
+		t.Fatalf("follower healthz = %+v, want 1 dropped record via append: eio", h)
+	}
 }
 
 // TestRequestValidation covers the 4xx paths: bad limit, bad method.

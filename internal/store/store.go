@@ -38,8 +38,12 @@ type Store struct {
 	// the records through it before they enter memory. sinkErr keeps the
 	// first persistence failure; records are kept in memory regardless,
 	// so a failing disk degrades durability, never the dataset.
-	sink    DurableSink
-	sinkErr error
+	// durableLost counts the records whose persistence failed — the
+	// count-and-drop half of the degraded-disk contract, so operators can
+	// tell exactly how much replay coverage an outage cost.
+	sink        DurableSink
+	sinkErr     error
+	durableLost int
 	// tee observes every accepted batch after it enters memory — the
 	// live-ingest hook the incremental query engine attaches to. Calls
 	// are serialized in acceptance order and must not mutate the records.
@@ -70,6 +74,15 @@ func (s *Store) DurableErr() error {
 	return s.sinkErr
 }
 
+// DurableLost returns how many records failed to persist through the
+// durable sink. They remain in memory (and in the dataset); only their
+// crash-replay coverage is gone.
+func (s *Store) DurableLost() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.durableLost
+}
+
 // persist writes recs through the durable sink, if any, recording the
 // first failure.
 func (s *Store) persist(recs []*honeypot.SessionRecord) {
@@ -84,6 +97,7 @@ func (s *Store) persist(recs []*honeypot.SessionRecord) {
 		if s.sinkErr == nil {
 			s.sinkErr = err
 		}
+		s.durableLost += len(recs)
 		s.mu.Unlock()
 	}
 }

@@ -16,27 +16,39 @@ package wal
 //     rather than an error;
 //   - once a successor exists, the current segment is sealed, and any
 //     leftover bytes that never became a frame are corruption.
+//
+// Degraded-mode recovery preserves both properties: a writer that
+// degrades seals its segment at the last frame-aligned size before the
+// probe creates a successor, and the successor opens with a gap frame.
+// The iterator collects gap frames into Gaps() as it crosses them, so
+// a tailing follower can account for dropped records in real time.
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"time"
+
+	"honeyfarm/internal/iofault"
 )
 
 // Iterator reads a WAL directory batch by batch in log order. It is
 // not safe for concurrent use; it is safe to use while a Log appends
 // to the same directory from this or another process.
 type Iterator struct {
+	fs      iofault.FS
 	dir     string
-	epoch   time.Time // established by the first meta frame read
-	seq     uint64    // current segment sequence (0 until one is found)
-	off     int64     // consumed byte offset within the current segment
-	f       *os.File  // current segment, nil before open / after advance
-	buf     []byte    // bytes read beyond off, not yet consumed
-	sawMeta bool      // current segment's meta frame has been consumed
-	format  string    // current segment's batch codec (from its meta frame)
+	epoch   time.Time    // established by the first meta frame read
+	seq     uint64       // current segment sequence (0 until one is found)
+	off     int64        // consumed byte offset within the current segment
+	f       iofault.File // current segment, nil before open / after advance
+	buf     []byte       // bytes read beyond off, not yet consumed
+	sawMeta bool         // current segment's meta frame has been consumed
+	format  string       // current segment's batch codec (from its meta frame)
+	gaps    []Gap        // gap frames crossed so far, in log order
 }
 
 // maxStepsPerNext caps the internal frame/segment advance loop of one
@@ -45,14 +57,19 @@ type Iterator struct {
 // "caught up" and the caller's retry resumes from the saved position.
 const maxStepsPerNext = 1 << 16
 
-// NewIterator positions an iterator at the start of the WAL in dir.
-// The directory may be empty or not yet created: Next reports "caught
-// up" until a writer produces the first segment.
+// NewIterator positions an iterator at the start of the WAL in dir, on
+// the real filesystem. The directory may be empty or not yet created:
+// Next reports "caught up" until a writer produces the first segment.
 func NewIterator(dir string) (*Iterator, error) {
-	if info, err := os.Stat(dir); err == nil && !info.IsDir() {
+	return NewIteratorFS(iofault.OS, dir)
+}
+
+// NewIteratorFS is NewIterator reading through fsys.
+func NewIteratorFS(fsys iofault.FS, dir string) (*Iterator, error) {
+	if info, err := fsys.Stat(dir); err == nil && !info.IsDir() {
 		return nil, fmt.Errorf("wal: %s is not a directory", dir)
 	}
-	return &Iterator{dir: dir}, nil
+	return &Iterator{fs: fsys, dir: dir}, nil
 }
 
 // Next returns the next intact batch in log order. ok is false with a
@@ -61,7 +78,8 @@ func NewIterator(dir string) (*Iterator, error) {
 // a complete frame on the final segment — call Next again after the
 // writer makes progress. A non-nil error is permanent: corruption
 // (damaged frames on a sealed segment, format/sequence/epoch
-// mismatches) or an I/O failure.
+// mismatches) or an I/O failure. Gap frames are consumed silently into
+// Gaps().
 func (it *Iterator) Next() (Batch, bool, error) {
 	for step := 0; step < maxStepsPerNext; step++ {
 		if it.f == nil {
@@ -114,6 +132,13 @@ func (it *Iterator) Next() (Batch, bool, error) {
 			it.sawMeta = true
 			continue
 		}
+		if g, isGap, intact := decodeGap(payload); isGap {
+			if !intact {
+				return Batch{}, false, fmt.Errorf("wal: segment %s has an undecodable gap frame at offset %d", segmentName(it.seq), it.off-n)
+			}
+			it.gaps = append(it.gaps, g)
+			continue
+		}
 		b, intact := decodeBatch(payload, it.format)
 		if !intact {
 			return Batch{}, false, fmt.Errorf("wal: segment %s has an undecodable frame at offset %d", segmentName(it.seq), it.off-n)
@@ -129,9 +154,9 @@ func (it *Iterator) Next() (Batch, bool, error) {
 func (it *Iterator) open() (opened bool, err error) {
 	seq := it.seq
 	if seq == 0 {
-		segs, err := listSegments(it.dir)
+		segs, err := listSegments(it.fs, it.dir)
 		if err != nil {
-			if os.IsNotExist(err) {
+			if errors.Is(err, iofs.ErrNotExist) {
 				return false, nil // directory not created yet
 			}
 			return false, fmt.Errorf("wal: listing %s: %w", it.dir, err)
@@ -141,9 +166,9 @@ func (it *Iterator) open() (opened bool, err error) {
 		}
 		seq = segs[0].Seq
 	}
-	f, err := os.Open(filepath.Join(it.dir, segmentName(seq)))
+	f, err := it.fs.OpenFile(filepath.Join(it.dir, segmentName(seq)), os.O_RDONLY, 0)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, iofs.ErrNotExist) {
 			return false, nil
 		}
 		return false, fmt.Errorf("wal: opening segment: %w", err)
@@ -168,11 +193,11 @@ func (it *Iterator) refill() error {
 // successorExists reports whether segment seq+1 exists — the signal
 // that the current segment is sealed and will never grow again.
 func (it *Iterator) successorExists() (bool, error) {
-	_, err := os.Stat(filepath.Join(it.dir, segmentName(it.seq+1)))
+	_, err := it.fs.Stat(filepath.Join(it.dir, segmentName(it.seq+1)))
 	if err == nil {
 		return true, nil
 	}
-	if os.IsNotExist(err) {
+	if errors.Is(err, iofs.ErrNotExist) {
 		return false, nil
 	}
 	return false, fmt.Errorf("wal: probing successor segment: %w", err)
@@ -189,6 +214,18 @@ func (it *Iterator) Epoch() (time.Time, bool) {
 // segment is found.
 func (it *Iterator) Pos() (seq uint64, off int64) {
 	return it.seq, it.off
+}
+
+// Gaps returns a copy of the degraded-mode outage records the cursor
+// has crossed so far, in log order. A tailing follower polls this
+// after draining to account for records the writer dropped.
+func (it *Iterator) Gaps() []Gap {
+	if len(it.gaps) == 0 {
+		return nil
+	}
+	out := make([]Gap, len(it.gaps))
+	copy(out, it.gaps)
+	return out
 }
 
 // Close releases the open segment handle, if any. The iterator must

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"honeyfarm/internal/iofault"
 	"os"
 	"path/filepath"
 	"testing"
@@ -44,7 +45,7 @@ func TestIteratorSealedThenActiveHandoff(t *testing.T) {
 		}
 		want = append(want, b)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestIteratorPendingTail(t *testing.T) {
 	// Build the next frame by hand and append only half of it.
 	b := Batch{Tag: 2, Records: mkRecords(100, 2)}
 	frame := buildBatchFrame(t, b)
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestIteratorSealedCorruption(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,28 +5,44 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"honeyfarm/internal/atomicio"
+	"honeyfarm/internal/iofault"
 )
 
 // Verify scans a WAL directory read-only and reports per-segment frame
-// and checksum statistics without modifying anything. Unlike Open it
-// tolerates damage anywhere: a torn or corrupt segment simply shows the
-// intact prefix it still holds. epoch may be zero when the directory
-// has at least one intact meta frame.
+// and checksum statistics without modifying anything — orphaned *.tmp
+// files are listed in the recovery, not swept. Unlike Open it tolerates
+// damage anywhere: a torn or corrupt segment simply shows the intact
+// prefix it still holds. epoch may be zero when the directory has at
+// least one intact meta frame.
 func Verify(dir string, epoch time.Time) (*Recovery, error) {
-	return scan(dir, epoch, false)
+	return VerifyFS(iofault.OS, dir, epoch)
+}
+
+// VerifyFS is Verify reading through fsys.
+func VerifyFS(fsys iofault.FS, dir string, epoch time.Time) (*Recovery, error) {
+	return scan(fsys, dir, epoch, false)
 }
 
 // Healthy reports whether the recovery describes a WAL that Open would
-// accept unchanged: no torn bytes anywhere.
+// accept unchanged: no torn bytes anywhere. Orphaned tmp files do not
+// count against health — Open sweeps them as a matter of course.
 func (r *Recovery) Healthy() bool { return r.TornBytes == 0 }
 
 // Repair truncates every damaged segment to its intact-frame prefix,
-// fsyncing each repaired file, and returns the post-repair state. This
-// is the fsck salvage path for damage Open refuses (a corrupt frame in
-// a non-final segment); data after a damaged frame is unrecoverable
-// because frames are located sequentially.
+// fsyncing each repaired file, sweeps orphaned *.tmp files, and returns
+// the post-repair state. This is the fsck salvage path for damage Open
+// refuses (a corrupt frame in a non-final segment); data after a
+// damaged frame is unrecoverable because frames are located
+// sequentially.
 func Repair(dir string, epoch time.Time) (*Recovery, error) {
-	rec, err := scan(dir, epoch, false)
+	return RepairFS(iofault.OS, dir, epoch)
+}
+
+// RepairFS is Repair operating through fsys.
+func RepairFS(fsys iofault.FS, dir string, epoch time.Time) (*Recovery, error) {
+	rec, err := scan(fsys, dir, epoch, false)
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +51,7 @@ func Repair(dir string, epoch time.Time) (*Recovery, error) {
 		if !seg.Torn {
 			continue
 		}
-		f, err := os.OpenFile(filepath.Join(dir, seg.Name), os.O_RDWR, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, seg.Name), os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: opening %s for repair: %w", seg.Name, err)
 		}
@@ -51,5 +67,8 @@ func Repair(dir string, epoch time.Time) (*Recovery, error) {
 			return nil, fmt.Errorf("wal: closing %s: %w", seg.Name, err)
 		}
 	}
-	return scan(dir, epoch, false)
+	if _, err := atomicio.SweepTmp(fsys, dir); err != nil {
+		return nil, fmt.Errorf("wal: sweeping orphaned tmp files: %w", err)
+	}
+	return scan(fsys, dir, epoch, false)
 }

@@ -21,6 +21,8 @@
 // directory may mix segment formats — an upgraded collector resumes a
 // v1 tail in v1 and switches to v2 at the next rotation — and every
 // reader (Open, Verify, Repair, Iterator, fsck) dispatches per segment.
+// Gap frames (also JSON in every format) record degraded-mode outages;
+// see below.
 //
 // Appends go to the highest segment; when it exceeds the configured
 // byte threshold it is fsynced, closed, and a new segment is opened.
@@ -34,22 +36,48 @@
 // write of group N+1. The schedule stays strictly count-based
 // (SyncEvery records per group, never a timer), so the flush points are
 // a deterministic function of the append stream.
+//
+// # Fault model
+//
+// All file I/O goes through an iofault.FS (Options.FS, defaulting to
+// the real filesystem), so every disk-error path is testable. Disk
+// errors are classified by iofault.Transient: out-of-space and
+// interrupted-syscall errnos get a bounded deterministic retry with
+// capped backoff (Options.RetryAttempts / Options.RetryPlan, the
+// supervisor's faults.Backoff policy); EIO and everything else are
+// permanent. When retries are exhausted — or an fsync fails, where
+// retrying cannot restore the lost ordering guarantee — the log
+// degrades instead of dying: the current segment is sealed best-effort
+// at its last frame-aligned size, subsequent appends are counted and
+// dropped (ErrDegraded), and every ProbeEvery-th append probes for
+// recovery by rolling a fresh segment. A successful probe first writes
+// a gap frame recording the outage (reason, dropped batch/record
+// counts), so readers — fsck, and the query follower's accounting —
+// see the hole instead of inferring it. Health() exposes the state
+// machine's position; a failing disk degrades durability, never the
+// in-memory dataset (store.Store keeps everything it accepted).
 package wal
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"honeyfarm/internal/atomicio"
+	"honeyfarm/internal/faults"
 	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/iofault"
 	"honeyfarm/internal/store"
 	"honeyfarm/internal/wire"
 )
@@ -68,6 +96,7 @@ const (
 const (
 	kindMeta  = 1 // segment header: format, sequence, epoch
 	kindBatch = 2 // session-record batch
+	kindGap   = 3 // degraded-mode outage record (JSON in every format)
 )
 
 // frameHeaderSize is the fixed prefix of every frame: length + CRC.
@@ -75,6 +104,12 @@ const frameHeaderSize = 8
 
 // castagnoli is the CRC-32C table used by every frame checksum.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrDegraded marks appends refused while the log is degraded. The
+// records were counted and dropped from the WAL (the in-memory store
+// keeps them); errors.Is(err, ErrDegraded) distinguishes this
+// accounted-for state from an unexpected failure.
+var ErrDegraded = errors.New("wal: degraded")
 
 // Options tunes a log. The zero value selects the defaults.
 type Options struct {
@@ -96,6 +131,22 @@ type Options struct {
 	// always keeps its recorded format until rotation, whatever this
 	// says, so frames within one segment are homogeneous.
 	Format string
+	// FS is the filesystem the log reads and writes through (default
+	// the real one). Tests inject deterministic disk faults here.
+	FS iofault.FS
+	// RetryAttempts bounds how many times a transient disk error
+	// (iofault.Transient: ENOSPC-family, EINTR, EAGAIN) is retried
+	// before the log degrades (default 3; 1 disables retry). Permanent
+	// errors degrade immediately.
+	RetryAttempts int
+	// RetryPlan supplies the capped-exponential backoff between retry
+	// attempts via faults.Backoff. nil uses the defaults (25ms base, 2s
+	// cap, no jitter) — the same policy the farm supervisor runs.
+	RetryPlan *faults.Plan
+	// ProbeEvery controls degraded-mode recovery probing: the first
+	// append after degrading probes immediately, then every
+	// ProbeEvery-th dropped append probes again (default 64).
+	ProbeEvery int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -110,6 +161,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Format != FormatName && o.Format != FormatNameV2 {
 		return o, fmt.Errorf("wal: unknown format %q", o.Format)
+	}
+	if o.FS == nil {
+		o.FS = iofault.OS
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 3
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = 64
 	}
 	return o, nil
 }
@@ -136,6 +196,37 @@ type metaBody struct {
 	Epoch   time.Time `json:"epoch"`
 }
 
+// Gap is one recorded degraded-mode outage: the frame a recovery probe
+// writes at the head of its fresh segment, so every reader sees how
+// many batches the outage dropped instead of silently missing them.
+// The body is JSON in every segment format, like the meta frame.
+type Gap struct {
+	// Reason classifies the failure that opened the outage, e.g.
+	// "append: enospc" or "group commit fsync: eio". Deliberately free
+	// of paths and timestamps so identically seeded runs stay
+	// byte-identical.
+	Reason string `json:"reason"`
+	// Batches and Records count the appends dropped during the outage.
+	Batches int `json:"batches"`
+	Records int `json:"records"`
+}
+
+// Health is a snapshot of the log's degraded-mode state machine.
+type Health struct {
+	// Degraded reports the log is currently refusing appends; Reason
+	// carries the underlying failure.
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"reason,omitempty"`
+	// DroppedBatches and DroppedRecords count appends refused across
+	// all outages of this Log instance.
+	DroppedBatches int `json:"dropped_batches"`
+	DroppedRecords int `json:"dropped_records"`
+	// Outages counts entries into degraded mode; Recoveries counts
+	// successful probes back out of it.
+	Outages    int `json:"outages"`
+	Recoveries int `json:"recoveries"`
+}
+
 // SegmentStat is one segment's recovery/verification summary.
 type SegmentStat struct {
 	// Name is the segment file name within the WAL directory.
@@ -149,6 +240,8 @@ type SegmentStat struct {
 	// they carry (the meta frame is not counted).
 	Frames  int
 	Records int
+	// GapFrames counts intact gap frames (degraded-mode outage records).
+	GapFrames int
 	// Bytes is the file size; GoodBytes the prefix covered by intact
 	// frames (including the meta frame); TornBytes the difference.
 	Bytes     int64
@@ -167,10 +260,17 @@ type Recovery struct {
 	Epoch time.Time
 	// Batches are the intact batch frames in append order.
 	Batches []Batch
+	// Gaps are the degraded-mode outage records found in the segments,
+	// in append order.
+	Gaps []Gap
 	// Segments holds per-segment frame/checksum stats in sequence order.
 	Segments []SegmentStat
 	// TornBytes is the total tail bytes truncated during recovery.
 	TornBytes int64
+	// OrphanedTmp lists stale *.tmp files found in the directory —
+	// leftovers of a crash between an atomic write's Close and Rename.
+	// Open sweeps them; Verify only reports them.
+	OrphanedTmp []string
 }
 
 // Records counts the recovered records across all batches.
@@ -178,6 +278,15 @@ func (r *Recovery) Records() int {
 	n := 0
 	for _, b := range r.Batches {
 		n += len(b.Records)
+	}
+	return n
+}
+
+// DroppedRecords sums the records the recorded gaps dropped.
+func (r *Recovery) DroppedRecords() int {
+	n := 0
+	for _, g := range r.Gaps {
+		n += g.Records
 	}
 	return n
 }
@@ -197,32 +306,41 @@ func (r *Recovery) Replay() *store.Store {
 //
 // Appends are acknowledged once written; durability arrives with the
 // group commit, whose fsync runs on the committer goroutine. An
-// asynchronous fsync failure is held sticky and returned by every
-// subsequent Append/Sync/Close, so a caller that stops appending on
+// asynchronous fsync failure degrades the log, so it is surfaced by
+// every subsequent Append/Sync/Close — a caller that stops appending on
 // the first error (store.Store's DurableErr contract) never outruns an
 // unreported sync failure by more than one group.
 type Log struct {
 	dir  string
+	fs   iofault.FS
 	opts Options
 
 	mu      sync.Mutex
-	f       *os.File // current segment
-	seq     uint64   // current segment sequence number
-	size    int64    // current segment size
-	format  string   // current segment's batch codec
-	pending int      // records appended since the last sync request
+	f       iofault.File // current segment (nil while degraded)
+	seq     uint64       // current segment sequence number
+	size    int64        // current segment's frame-aligned size
+	format  string       // current segment's batch codec
+	pending int          // records appended since the last sync request
 	closed  bool
+
+	// Degraded-mode state machine (see the package fault model).
+	degraded   error  // non-nil while degraded: the failure that opened the outage
+	reason     string // deterministic classification of degraded ("append: enospc")
+	oldSealed  bool   // pre-outage segment already truncated+fsynced+closed
+	sinceProbe int    // dropped appends since the last recovery probe
+	health     Health // cumulative drop/outage counters
+	outageB    int    // batches dropped in the current outage (gap frame body)
+	outageR    int    // records dropped in the current outage
 
 	// Pipelined group commit: the committer goroutine performs the
 	// fsyncs requested through syncReq and acknowledges on syncDone, so
 	// an appender that just crossed SyncEvery hands off the sync and
 	// returns to encoding. Pipeline depth is one: a second request
 	// first waits out the in-flight predecessor.
-	syncReq       chan *os.File
+	syncReq       chan iofault.File
 	syncDone      chan error
 	committerDone chan struct{}
 	syncInFlight  bool
-	syncErr       error
 }
 
 // segmentName formats the file name of segment seq.
@@ -239,8 +357,8 @@ func parseSegmentName(name string) (uint64, bool) {
 }
 
 // listSegments returns the directory's segment files in sequence order.
-func listSegments(dir string) ([]SegmentStat, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys iofault.FS, dir string) ([]SegmentStat, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -264,27 +382,39 @@ func listSegments(dir string) ([]SegmentStat, error) {
 }
 
 // Open opens (creating if necessary) the WAL in dir, recovers its
-// contents, truncates any torn tail frame on the final segment, and
-// positions the log for appending. A torn or corrupt frame on a
-// non-final segment is refused — completed segments were fsynced before
-// their successor existed, so damage there is corruption, not a crash
-// artifact; use Repair to salvage the intact prefix.
+// contents, truncates any torn tail frame on the final segment, sweeps
+// stale *.tmp orphans, and positions the log for appending. A torn or
+// corrupt frame on a non-final segment is refused — completed segments
+// were fsynced before their successor existed, so damage there is
+// corruption, not a crash artifact; use Repair to salvage the intact
+// prefix.
 func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	rec, err := scan(dir, opts.Epoch, true)
+	rec, err := scan(fsys, dir, opts.Epoch, true)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Sweep the orphans the scan reported. A crash between an atomic
+	// write's Close and Rename strands its .tmp forever otherwise. Safe
+	// under the log's single-writer assumption; best-effort because a
+	// failed remove must not block recovery (fsck reports survivors).
+	if len(rec.OrphanedTmp) > 0 {
+		if _, serr := atomicio.SweepTmp(fsys, dir); serr != nil {
+			rec.OrphanedTmp = nil // not swept after all; leave them to fsck
+		}
+	}
 	l := &Log{
 		dir:           dir,
+		fs:            fsys,
 		opts:          opts,
-		syncReq:       make(chan *os.File, 1),
+		syncReq:       make(chan iofault.File, 1),
 		syncDone:      make(chan error, 1),
 		committerDone: make(chan struct{}),
 	}
@@ -292,7 +422,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 
 	if n := len(rec.Segments); n > 0 {
 		last := &rec.Segments[n-1]
-		f, err := os.OpenFile(filepath.Join(dir, last.Name), os.O_RDWR, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, last.Name), os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: opening segment: %w", err)
 		}
@@ -331,15 +461,15 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 // scan reads every segment, validating frames. truncating selects Open
 // semantics (torn tail allowed on the final segment only); Verify and
 // Repair pass false to collect stats for damaged middles too.
-func scan(dir string, epoch time.Time, truncating bool) (*Recovery, error) {
-	segs, err := listSegments(dir)
+func scan(fsys iofault.FS, dir string, epoch time.Time, truncating bool) (*Recovery, error) {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
 	}
 	rec := &Recovery{Epoch: epoch}
 	for i := range segs {
 		seg := &segs[i]
-		batches, err := scanSegment(dir, seg, rec)
+		batches, err := scanSegment(fsys, dir, seg, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -350,6 +480,9 @@ func scan(dir string, epoch time.Time, truncating bool) (*Recovery, error) {
 		rec.TornBytes += seg.TornBytes
 	}
 	rec.Segments = segs
+	if tmps, terr := atomicio.StaleTmp(fsys, dir); terr == nil {
+		rec.OrphanedTmp = tmps
+	}
 	// An epoch is established by Options.Epoch or any intact meta frame;
 	// without either (fresh directory, or every meta frame torn) the log
 	// cannot replay into a store.
@@ -364,9 +497,9 @@ func scan(dir string, epoch time.Time, truncating bool) (*Recovery, error) {
 // whose format and sequence match; an epoch mismatch against an already
 // established epoch is an error, a zero established epoch adopts the
 // recorded one. Batch frames decode with the codec the meta frame
-// declares.
-func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
-	data, err := os.ReadFile(filepath.Join(dir, seg.Name))
+// declares; gap frames are collected into rec.Gaps.
+func scanSegment(fsys iofault.FS, dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
+	data, err := iofault.ReadFile(fsys, filepath.Join(dir, seg.Name))
 	if err != nil {
 		return nil, fmt.Errorf("wal: reading segment: %w", err)
 	}
@@ -391,6 +524,15 @@ func scanSegment(dir string, seg *SegmentStat, rec *Recovery) ([]Batch, error) {
 			rec.Epoch = epoch
 			seg.Format = format
 			first = false
+			off = next
+			continue
+		}
+		if g, isGap, intact := decodeGap(payload); isGap {
+			if !intact {
+				break // CRC-valid but undecodable gap body: stop here
+			}
+			rec.Gaps = append(rec.Gaps, g)
+			seg.GapFrames++
 			off = next
 			continue
 		}
@@ -435,6 +577,18 @@ func decodeMeta(payload []byte, name string, seq uint64, established time.Time) 
 		return time.Time{}, "", false, fmt.Errorf("wal: segment %s epoch %s does not match %s", name, meta.Epoch, established)
 	}
 	return established, meta.Format, true, nil
+}
+
+// decodeGap recognizes and decodes a gap-frame payload. isGap reports
+// the kind byte matched; intact whether the JSON body decoded.
+func decodeGap(payload []byte) (g Gap, isGap, intact bool) {
+	if len(payload) == 0 || payload[0] != kindGap {
+		return Gap{}, false, false
+	}
+	if json.Unmarshal(payload[1:], &g) != nil {
+		return Gap{}, true, false
+	}
+	return g, true, true
 }
 
 // decodeBatch decodes a batch-frame payload with the segment's codec.
@@ -498,6 +652,18 @@ func (l *Log) Dir() string { return l.dir }
 // Epoch returns the store epoch the log records.
 func (l *Log) Epoch() time.Time { return l.opts.Epoch }
 
+// Health returns a snapshot of the degraded-mode state machine.
+func (l *Log) Health() Health {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.health
+	h.Degraded = l.degraded != nil
+	if h.Degraded {
+		h.Reason = l.degraded.Error()
+	}
+	return h
+}
+
 // Append durably logs one batch of records under tag 0. It satisfies
 // store.DurableSink.
 func (l *Log) Append(recs []*honeypot.SessionRecord) error {
@@ -511,6 +677,11 @@ func (l *Log) Append(recs []*honeypot.SessionRecord) error {
 // records have accumulated since the last one; the fsync itself runs on
 // the committer goroutine, overlapping this caller's (and the next
 // caller's) encode work.
+//
+// While degraded, the batch is counted and dropped and the error wraps
+// ErrDegraded; recovery probes run on the schedule Options.ProbeEvery
+// describes, and a successful probe appends the triggering batch to the
+// fresh segment as if nothing happened.
 func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
 	// Encode outside the lock into a pooled frame buffer: this is the
 	// half of the pipeline that overlaps the committer's fsync.
@@ -526,13 +697,17 @@ func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
 	}
-	if l.syncErr != nil {
-		return l.syncErr
+	if l.degraded != nil {
+		if !l.tryRecoverLocked() {
+			l.dropLocked(len(recs))
+			return fmt.Errorf("%w (batch of %d records dropped): %w", ErrDegraded, len(recs), l.degraded)
+		}
 	}
 	if l.format != format {
 		// A rotation between the hint and the lock switched codecs (at
-		// most once per log lifetime, on a v1→v2 upgrade); re-encode for
-		// the segment the frame will actually land in.
+		// most once per log lifetime, on a v1→v2 upgrade — or a recovery
+		// probe just rolled a fresh segment in the configured format);
+		// re-encode for the segment the frame will actually land in.
 		b.Reset()
 		var hdr [frameHeaderSize]byte
 		b.Raw(hdr[:])
@@ -541,13 +716,16 @@ func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
 		}
 	}
 	frame := finishFrame(b)
-	if _, err := l.f.Write(frame); err != nil {
-		return fmt.Errorf("wal: appending frame: %w", err)
+	if err := l.appendFrameLocked(frame); err != nil {
+		l.dropLocked(len(recs))
+		return err
 	}
-	l.size += int64(len(frame))
 	l.pending += len(recs)
 	if l.pending >= l.opts.SyncEvery {
 		if err := l.requestSyncLocked(); err != nil {
+			// The frame was written but its durability is now unknown;
+			// callers treat this as a failed persist (a conservative
+			// over-count — recovery may still replay the batch).
 			return err
 		}
 	}
@@ -556,6 +734,238 @@ func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// appendFrameLocked writes one finished frame to the current segment
+// with the bounded transient-error retry. On any failure the partially
+// written bytes are truncated away first, so the segment stays
+// frame-aligned whether the next step is a retry or degraded mode.
+func (l *Log) appendFrameLocked(frame []byte) error {
+	var werr error
+	for attempt := 0; attempt < l.opts.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(l.opts.RetryPlan.Backoff(0, attempt-1))
+		}
+		n, err := l.f.Write(frame)
+		if err == nil && n == len(frame) {
+			l.size += int64(len(frame))
+			return nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		werr = err
+		if n > 0 {
+			if rerr := l.rollbackTailLocked(); rerr != nil {
+				// The segment may hold a partial frame we cannot remove;
+				// degrade now — the recovery probe re-seals by truncating
+				// through a fresh handle.
+				l.enterDegradedLocked("append rollback", rerr, false)
+				return l.degradedErrLocked()
+			}
+		}
+		if !iofault.Transient(err) {
+			break
+		}
+	}
+	l.enterDegradedLocked("append", werr, false)
+	return l.degradedErrLocked()
+}
+
+// rollbackTailLocked restores the current segment to its last
+// frame-aligned size after a failed or short write, repositioning the
+// handle for the next append.
+func (l *Log) rollbackTailLocked() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(l.size, io.SeekStart)
+	return err
+}
+
+// dropLocked counts one dropped batch.
+func (l *Log) dropLocked(records int) {
+	l.health.DroppedBatches++
+	l.health.DroppedRecords += records
+	l.outageB++
+	l.outageR += records
+}
+
+// errnoClass folds an error onto a short, deterministic label for gap
+// frames — no paths, no timestamps, so identically seeded runs write
+// byte-identical segments.
+func errnoClass(err error) string {
+	switch {
+	case errors.Is(err, syscall.ENOSPC):
+		return "enospc"
+	case errors.Is(err, syscall.EIO):
+		return "eio"
+	case errors.Is(err, io.ErrShortWrite):
+		return "short write"
+	default:
+		return "io failure"
+	}
+}
+
+// enterDegradedLocked opens an outage: records the cause, and seals the
+// current segment best-effort at its frame-aligned size (collecting any
+// in-flight group commit first) so readers that see a successor later
+// never find a torn middle segment. sealed tells the state machine the
+// segment is already sealed (rotation paths close it before failing).
+// Re-entry while already degraded only updates nothing — the first
+// cause wins, matching store.Store's sticky DurableErr.
+func (l *Log) enterDegradedLocked(stage string, cause error, sealed bool) {
+	if l.degraded != nil {
+		return
+	}
+	l.degraded = fmt.Errorf("wal: %s: %w", stage, cause)
+	l.reason = stage + ": " + errnoClass(cause)
+	l.health.Outages++
+	l.sinceProbe = 0
+	l.outageB, l.outageR = 0, 0
+	if l.syncInFlight {
+		// The committer still holds the handle; collect its verdict
+		// before touching the file. The first cause wins (recorded
+		// above), so the verdict itself no longer matters.
+		if err := <-l.syncDone; err != nil {
+			// Already degraded; nothing further to record.
+		}
+		l.syncInFlight = false
+	}
+	l.oldSealed = sealed
+	if l.f == nil {
+		return
+	}
+	if !sealed {
+		if l.rollbackTailLocked() == nil && l.f.Sync() == nil {
+			l.oldSealed = true
+		}
+	}
+	// Close whether or not the seal landed: degraded mode never writes
+	// through this handle again, and the probe re-seals via a fresh one
+	// (a failed close after a clean sync cannot un-sync the data).
+	if err := l.f.Close(); err != nil {
+		// Abandoned handle; see above.
+	}
+	l.f = nil
+}
+
+// degradedErrLocked is the error every refused operation returns while
+// degraded: the ErrDegraded sentinel wrapping the original cause.
+func (l *Log) degradedErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrDegraded, l.degraded)
+}
+
+// tryRecoverLocked runs the degraded-mode probe schedule: the first
+// dropped append probes immediately, then every ProbeEvery-th. Reports
+// whether the log recovered and is ready to append.
+func (l *Log) tryRecoverLocked() bool {
+	probe := l.sinceProbe == 0
+	l.sinceProbe = (l.sinceProbe + 1) % l.opts.ProbeEvery
+	if !probe {
+		return false
+	}
+	return l.probeLocked() == nil
+}
+
+// probeLocked attempts recovery from degraded mode: finish sealing the
+// pre-outage segment if needed, roll a fresh successor, and open it
+// with a meta frame followed by a gap frame recording the outage. Any
+// failure leaves the log degraded with segment numbering contiguous —
+// a half-created successor is removed (or, failing that, removed by
+// the next probe before its O_EXCL create).
+func (l *Log) probeLocked() error {
+	if !l.oldSealed {
+		if err := l.sealOldLocked(); err != nil {
+			return err
+		}
+	}
+	seq := l.seq + 1
+	path := filepath.Join(l.dir, segmentName(seq))
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, iofs.ErrExist) {
+		// Leftover from an earlier probe that died between create and
+		// meta; clear it so the numbering stays contiguous.
+		if rerr := l.fs.Remove(path); rerr != nil {
+			return rerr
+		}
+		f, err = l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	prevSeq, prevSize, prevFormat := l.seq, l.size, l.format
+	l.f, l.seq, l.size, l.format = f, seq, 0, l.opts.Format
+	gap := Gap{Reason: l.reason, Batches: l.outageB, Records: l.outageR}
+	werr := l.writeMetaLocked()
+	if werr == nil {
+		werr = l.writeGapLocked(gap)
+	}
+	return l.finishProbeLocked(werr, path, prevSeq, prevSize, prevFormat)
+}
+
+// finishProbeLocked commits or rolls back the probe's fresh segment.
+func (l *Log) finishProbeLocked(err error, path string, prevSeq uint64, prevSize int64, prevFormat string) error {
+	if err != nil {
+		l.f.Close()
+		if rerr := l.fs.Remove(path); rerr != nil {
+			// Leftover half-created successor; the next probe clears it
+			// via the O_EXCL+Remove path before re-creating.
+		}
+		l.f, l.seq, l.size, l.format = nil, prevSeq, prevSize, prevFormat
+		return err
+	}
+	l.degraded = nil
+	l.reason = ""
+	l.health.Recoveries++
+	l.outageB, l.outageR = 0, 0
+	l.oldSealed = false
+	l.pending = 0
+	return nil
+}
+
+// sealOldLocked finishes sealing the pre-outage segment through a fresh
+// handle: truncate to the frame-aligned size, fsync, close. Only then
+// may a successor exist (the torn-tail rule).
+func (l *Log) sealOldLocked() error {
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	serr := f.Truncate(l.size)
+	if serr == nil {
+		serr = f.Sync()
+	}
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return serr
+	}
+	l.oldSealed = true
+	return nil
+}
+
+// writeGapLocked appends and fsyncs one gap frame. Like the meta frame
+// it is JSON in every segment format.
+func (l *Log) writeGapLocked(g Gap) error {
+	body, err := json.Marshal(g)
+	if err != nil {
+		return fmt.Errorf("wal: encoding gap: %w", err)
+	}
+	b := getFrameBuilder()
+	defer putFrameBuilder(b)
+	b.Byte(kindGap)
+	b.Raw(body)
+	frame := finishFrame(b)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: writing gap frame: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing gap frame: %w", err)
+	}
+	l.size += int64(len(frame))
 	return nil
 }
 
@@ -578,18 +988,25 @@ func (l *Log) committer() {
 	}
 }
 
-// waitSyncLocked collects the outstanding asynchronous fsync, if any,
-// holding its error sticky. Every path that closes, rotates, or syncs
-// the current segment file waits here first, so the committer never
-// touches a file descriptor that has been handed off or closed.
+// waitSyncLocked collects the outstanding asynchronous fsync, if any.
+// A failed group commit degrades the log — retrying an fsync that
+// already failed gives no durability guarantee back — and the degraded
+// error is returned here and by every later Append/Sync/Close. Every
+// path that closes, rotates, or syncs the current segment file waits
+// here first, so the committer never touches a file descriptor that
+// has been handed off or closed.
 func (l *Log) waitSyncLocked() error {
 	if l.syncInFlight {
-		if err := <-l.syncDone; err != nil && l.syncErr == nil {
-			l.syncErr = fmt.Errorf("wal: sync: %w", err)
-		}
+		err := <-l.syncDone
 		l.syncInFlight = false
+		if err != nil {
+			l.enterDegradedLocked("group commit fsync", err, false)
+		}
 	}
-	return l.syncErr
+	if l.degraded != nil {
+		return l.degradedErrLocked()
+	}
+	return nil
 }
 
 // requestSyncLocked hands the current segment to the committer. The
@@ -622,18 +1039,23 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
 	}
+	if l.degraded != nil {
+		return l.degradedErrLocked()
+	}
 	if err := l.waitSyncLocked(); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		l.enterDegradedLocked("sync", err, false)
+		return l.degradedErrLocked()
 	}
 	l.pending = 0
 	return nil
 }
 
 // Close syncs and closes the log, stopping the committer goroutine.
-// The directory remains valid for a later Open.
+// The directory remains valid for a later Open. A degraded log reports
+// its outage cause, matching Append and Sync.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -641,18 +1063,27 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	syncErr := l.waitSyncLocked()
+	werr := l.waitSyncLocked()
 	close(l.syncReq)
 	<-l.committerDone
-	if syncErr != nil {
-		l.f.Close()
-		return syncErr
+	if werr != nil || l.degraded != nil {
+		if l.f != nil {
+			l.f.Close()
+			l.f = nil
+		}
+		if werr != nil {
+			return werr
+		}
+		return l.degradedErrLocked()
 	}
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
+		l.f = nil
 		return fmt.Errorf("wal: sync on close: %w", err)
 	}
-	return l.f.Close()
+	err := l.f.Close()
+	l.f = nil
+	return err
 }
 
 // rotateLocked seals the current segment (fsync + close) and opens the
@@ -664,25 +1095,57 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync before rotation: %w", err)
+		l.enterDegradedLocked("sync before rotation", err, false)
+		return l.degradedErrLocked()
 	}
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: closing segment: %w", err)
+		// The data is durable (the sync above landed); only the handle is
+		// in doubt. Degrade with the segment considered sealed.
+		l.f = nil
+		l.enterDegradedLocked("closing segment", err, true)
+		return l.degradedErrLocked()
 	}
 	l.pending = 0
-	return l.rollLocked(l.seq + 1)
+	if err := l.rollLocked(l.seq + 1); err != nil {
+		// rollLocked cleaned up after itself: l.f is nil and
+		// seq/size/format point at the sealed predecessor. Record the
+		// failure and let the probe schedule roll the successor.
+		l.enterDegradedLocked("rotation", err, true)
+		return l.degradedErrLocked()
+	}
+	return nil
 }
 
 // rollLocked opens segment seq for appending and writes its meta frame.
-// New segments always use the configured codec.
+// New segments always use the configured codec. Creation retries
+// transient errors on the append path's backoff policy. On failure the
+// partial segment file is removed and the log's position restored, so
+// segment numbering stays contiguous.
 func (l *Log) rollLocked(seq uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(seq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	path := filepath.Join(l.dir, segmentName(seq))
+	var f iofault.File
+	var err error
+	for attempt := 0; attempt < l.opts.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(l.opts.RetryPlan.Backoff(0, attempt-1))
+		}
+		f, err = l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil || !iofault.Transient(err) {
+			break
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
+	prevSeq, prevSize, prevFormat := l.seq, l.size, l.format
 	l.f, l.seq, l.size, l.format = f, seq, 0, l.opts.Format
 	if err := l.writeMetaLocked(); err != nil {
 		f.Close()
+		if rerr := l.fs.Remove(path); rerr != nil {
+			// Leftover half-created segment; a later probe clears it
+			// before re-creating.
+		}
+		l.f, l.seq, l.size, l.format = nil, prevSeq, prevSize, prevFormat
 		return err
 	}
 	return nil

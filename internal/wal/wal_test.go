@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"honeyfarm/internal/iofault"
 	"os"
 	"path/filepath"
 	"testing"
@@ -122,7 +123,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func testCrashAtEveryOffset(t *testing.T, format string) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(build)
+	segs, err := listSegments(iofault.OS, build)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestCorruptMiddleSegment(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

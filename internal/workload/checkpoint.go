@@ -3,8 +3,9 @@ package workload
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"honeyfarm/internal/atomicio"
 	"honeyfarm/internal/faults"
 	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/iofault"
 	"honeyfarm/internal/wal"
 )
 
@@ -103,7 +105,11 @@ func openCheckpoint(cfg Config) (*checkpoint, error) {
 		}
 		return nil, nil
 	}
-	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	if err := fsys.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 		return nil, err
 	}
 	fp, err := fingerprint(cfg)
@@ -111,7 +117,7 @@ func openCheckpoint(cfg Config) (*checkpoint, error) {
 		return nil, fmt.Errorf("fingerprinting config: %w", err)
 	}
 	mPath := filepath.Join(cfg.CheckpointDir, manifestName)
-	raw, err := os.ReadFile(mPath)
+	raw, err := iofault.ReadFile(fsys, mPath)
 	switch {
 	case err == nil:
 		if !cfg.Resume {
@@ -127,7 +133,7 @@ func openCheckpoint(cfg Config) (*checkpoint, error) {
 		if m.Fingerprint != fp {
 			return nil, fmt.Errorf("checkpoint in %s was created by a different configuration (seed %d, %d sessions); refusing to resume", cfg.CheckpointDir, m.Seed, m.TotalSessions)
 		}
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		m, merr := json.Marshal(manifest{
 			Format: manifestFormat, Fingerprint: fp,
 			Seed: cfg.Seed, TotalSessions: cfg.TotalSessions,
@@ -135,14 +141,14 @@ func openCheckpoint(cfg Config) (*checkpoint, error) {
 		if merr != nil {
 			return nil, merr
 		}
-		if werr := atomicio.WriteFileBytes(mPath, append(m, '\n')); werr != nil {
+		if werr := atomicio.WriteFileBytesFS(fsys, mPath, append(m, '\n')); werr != nil {
 			return nil, fmt.Errorf("writing manifest: %w", werr)
 		}
 	default:
 		return nil, fmt.Errorf("reading manifest: %w", err)
 	}
 
-	log, rec, err := wal.Open(cfg.CheckpointDir, wal.Options{Epoch: cfg.Epoch})
+	log, rec, err := wal.Open(cfg.CheckpointDir, wal.Options{Epoch: cfg.Epoch, FS: fsys})
 	if err != nil {
 		return nil, err
 	}

@@ -14,20 +14,28 @@
 #   chaos smoke  the fault-injection suite (supervisor restarts, outage
 #                windows, bounded drain) once more under -race — the
 #                tests most sensitive to goroutine leaks and deadlocks
+#   disk chaos   the disk-fault suite under -race: crash-at-every-
+#                syscall recovery, fsync-failure schedules, and the
+#                ENOSPC outage window at both the WAL and farm layers —
+#                degraded mode must count-and-drop, recover on a fresh
+#                segment, and leak nothing
 #   crash smoke  reproduce is SIGKILLed mid-generation with a WAL
 #                checkpoint, resumed, and the resumed report is compared
 #                byte-for-byte against an uninterrupted run; fsck must
 #                then find the WAL healthy
 #   serve smoke  cmd/serve (built with -race) tails a generated WAL;
-#                every /v1 endpoint must answer 200, If-None-Match
-#                revalidation must return 304, and SIGTERM must drain
-#                cleanly with zero leaked goroutines
+#                every /v1 endpoint must answer 200, the -pprof mux must
+#                answer under /debug/pprof/, If-None-Match revalidation
+#                must return 304, and SIGTERM must drain cleanly with
+#                zero leaked goroutines
 #   bench smoke  every benchmark runs once (-benchtime=1x), so a broken
 #                benchmark cannot sit undetected until a baseline run
-#   bench gate   BenchmarkWALAppendRecover/append is re-run and must
-#                stay within 20% of the latest checked-in BENCH_<n>.json
-#                baseline, so a WAL write-path regression fails the gate
-#                instead of waiting for someone to re-record baselines
+#   bench gate   BenchmarkWALAppendRecover/append is re-run (best of
+#                three samples, since machine load is one-sided noise)
+#                and must stay within 20% of the latest checked-in
+#                BENCH_<n>.json baseline, so a WAL write-path regression
+#                fails the gate instead of waiting for someone to
+#                re-record baselines
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -70,6 +78,10 @@ chaos_run='TestChaos|TestStop|TestKill|TestOutage|TestFault|TestConnFault|TestBa
 echo "==> chaos smoke (go test -race -count=1 -run '$chaos_run')"
 go test -race -count=1 -run "$chaos_run" ./internal/farm ./internal/netsim ./internal/faults
 
+disk_run='TestCrashAtEverySyscall|TestFsyncFaultSchedule|TestCommitterFsyncErrorSticky|TestCloseDrainsInflightSync|TestENOSPCWindowRecovers|TestENOSPCWindowFarm'
+echo "==> disk chaos smoke (go test -race -count=1 -run '$disk_run')"
+go test -race -count=1 -run "$disk_run" ./internal/wal ./internal/farm
+
 echo "==> crash smoke (SIGKILL mid-generation, resume, diff)"
 go build -o "$tmp/reproduce" ./cmd/reproduce
 go build -o "$tmp/fsck" ./cmd/fsck
@@ -104,7 +116,7 @@ cmp "$tmp/reference.txt" "$tmp/resumed.txt"
 echo "==> serve smoke (WAL tail, ETag revalidation, SIGTERM drain)"
 go build -race -o "$tmp/serve" ./cmd/serve
 "$tmp/reproduce" -sessions 20000 -seed 3 -wal-dir "$tmp/servewal" -out "$tmp/servewal-report.txt"
-"$tmp/serve" -wal-dir "$tmp/servewal" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -poll 50ms \
+"$tmp/serve" -wal-dir "$tmp/servewal" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -poll 50ms -pprof \
     >"$tmp/serve.log" 2>&1 &
 serve_pid=$!
 i=0
@@ -146,6 +158,8 @@ done
 for ep in summary pots clients countries availability healthz; do
     curl -fsS "http://$addr/v1/$ep" >/dev/null
 done
+# -pprof mounts the profiling mux beside the API on the same listener.
+curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null
 etag=$(curl -fsSI "http://$addr/v1/summary" | tr -d '\r' | awk 'tolower($1) == "etag:" {print $2}')
 if [ -z "$etag" ]; then
     echo "serve smoke: /v1/summary carries no ETag" >&2
@@ -191,10 +205,14 @@ else
         echo "bench gate: $baseline has no BenchmarkWALAppendRecover/append row" >&2
         exit 1
     fi
-    got=$(go test -run '^$' -bench 'WALAppendRecover/append$' -benchtime 3x -count 1 . |
+    # Best of three samples: container load is one-sided noise (it only
+    # ever lowers throughput), so the max is the honest estimate of what
+    # the code can do, and a single sample landing in a load spike does
+    # not fail the gate spuriously.
+    got=$(go test -run '^$' -bench 'WALAppendRecover/append$' -benchtime 3x -count 3 . |
         awk '$1 ~ /^BenchmarkWALAppendRecover\/append/ {
-            for (i = 4; i <= NF; i++) if ($i == "records/s") print $(i - 1)
-        }')
+            for (i = 4; i <= NF; i++) if ($i == "records/s" && $(i - 1) + 0 > best) best = $(i - 1)
+        } END { if (best) print best }')
     if [ -z "$got" ]; then
         echo "bench gate: benchmark produced no records/s metric" >&2
         exit 1
