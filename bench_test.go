@@ -647,14 +647,14 @@ func BenchmarkSnapshotServe(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			h := query.NewServer(query.ServerConfig{Engine: eng}).Handler()
+			h := query.NewServer(query.ServerConfig{Source: eng}).Handler()
 			if rr := get(b, h, ""); rr.Code != http.StatusOK {
 				b.Fatalf("status %d", rr.Code)
 			}
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
-		h := query.NewServer(query.ServerConfig{Engine: eng}).Handler()
+		h := query.NewServer(query.ServerConfig{Source: eng}).Handler()
 		get(b, h, "") // warm the render cache
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -665,7 +665,7 @@ func BenchmarkSnapshotServe(b *testing.B) {
 		}
 	})
 	b.Run("revalidated", func(b *testing.B) {
-		h := query.NewServer(query.ServerConfig{Engine: eng}).Handler()
+		h := query.NewServer(query.ServerConfig{Source: eng}).Handler()
 		etag := get(b, h, "").Header().Get("ETag")
 		if etag == "" {
 			b.Fatal("no ETag")

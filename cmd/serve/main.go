@@ -87,7 +87,7 @@ func main() {
 	follower.Start()
 
 	api := query.NewServer(query.ServerConfig{
-		Engine:      engine,
+		Source:      engine,
 		Follower:    follower,
 		MaxInflight: *maxInflight,
 		ClientRows:  *clientRows,

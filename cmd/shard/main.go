@@ -1,0 +1,199 @@
+// Command shard runs one collector shard of a multi-node honeyfarm: it
+// owns the partition of pots with HoneypotID % shards == index,
+// persists that partition's session records through its own write-ahead
+// log, folds them into the incremental aggregation engine, and serves
+// both the regular query API and the coordinator-facing pull API
+// (/shard/v1/partials) on one listener.
+//
+// Restart is resumption: the WAL is recovered on startup, recovered
+// batches replay into the engine, and feeding continues from the first
+// unpersisted record — so a SIGKILLed shard comes back at a lower (then
+// catching-up) sequence and the merge coordinator's monotonic install
+// rule rides it out.
+//
+// Usage:
+//
+//	shard -wal-dir s0/ -shards 3 -index 0 -addr 127.0.0.1:0
+//
+// SIGINT/SIGTERM drains in-flight requests (bounded by -drain), stops
+// the feeder, closes the WAL, and verifies nothing leaked before
+// exiting 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"honeyfarm"
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/atomicio"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/malware"
+	"honeyfarm/internal/query"
+	"honeyfarm/internal/shard"
+	"honeyfarm/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	walDir := flag.String("wal-dir", "", "this shard's WAL directory (required)")
+	shards := flag.Int("shards", 1, "fleet size: number of collector shards")
+	index := flag.Int("index", 0, "this shard's id in [0, shards)")
+	sessions := flag.Int("sessions", 50_000, "total sessions in the fleet-wide dataset")
+	seed := flag.Int64("seed", 1, "generation seed; must match across the fleet")
+	pots := flag.Int("pots", 221, "fleet-wide farm size (every shard sizes its tables for the full farm)")
+	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS); dataset is identical for any value")
+	batch := flag.Int("batch", 500, "records per feed batch (appended durably, then ingested)")
+	pace := flag.Duration("pace", 20*time.Millisecond, "delay between feed batches (simulated collection rate)")
+	snapshotEvery := flag.Int("snapshot-every", 2000, "auto-seal a snapshot every N ingested records")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	if *walDir == "" || *shards < 1 || *index < 0 || *index >= *shards {
+		fmt.Fprintln(os.Stderr, "usage: shard -wal-dir <dir> -shards N -index i [-addr host:port]")
+		os.Exit(2)
+	}
+
+	// Register the signal handler before taking the goroutine baseline:
+	// os/signal starts a permanent runtime goroutine on first Notify,
+	// which would otherwise read as a leak.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	baseline := runtime.NumGoroutine()
+
+	// The whole fleet generates the same dataset from the same seed;
+	// each shard keeps only its partition, so the union over the fleet
+	// is exactly the single-node record set.
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: *seed, TotalSessions: *sessions, NumPots: *pots, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatalf("shard: simulate: %v", err)
+	}
+	var part []*honeypot.SessionRecord
+	for _, r := range d.Store.Records() {
+		if r.HoneypotID%*shards == *index {
+			part = append(part, r)
+		}
+	}
+
+	wlog, recovery, err := wal.Open(*walDir, wal.Options{Epoch: honeyfarm.DefaultEpoch})
+	if err != nil {
+		log.Fatalf("shard: wal: %v", err)
+	}
+	engine := query.New(query.Config{
+		Epoch:         honeyfarm.DefaultEpoch,
+		NumPots:       *pots,
+		Registry:      d.Registry,
+		Tagger:        analysis.Tagger(malware.NewTagger(nil)),
+		SnapshotEvery: *snapshotEvery,
+	})
+	for _, b := range recovery.Batches {
+		engine.Ingest(b.Records)
+	}
+	recovered := recovery.Records()
+	if recovered > len(part) {
+		log.Fatalf("shard: WAL holds %d records but partition has %d; -shards/-index/-seed mismatch", recovered, len(part))
+	}
+	engine.Seal()
+	log.Printf("shard %d/%d: partition %d records, recovered %d, feeding %d",
+		*index, *shards, len(part), recovered, len(part)-recovered)
+
+	api := query.NewServer(query.ServerConfig{Source: engine, WALHealth: wlog.Health})
+	mux := http.NewServeMux()
+	mux.Handle("/shard/", shard.NewHandler(engine))
+	mux.Handle("/", api.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("shard: listen: %v", err)
+	}
+	if *addrFile != "" {
+		// Written atomically: the merge smoke test polls this file and
+		// must never read a half-written address.
+		if err := atomicio.WriteFileBytes(*addrFile, []byte(ln.Addr().String()+"\n")); err != nil {
+			log.Fatalf("shard: writing -addr-file: %v", err)
+		}
+	}
+	log.Printf("shard %d: listening on %s, wal %s", *index, ln.Addr(), *walDir)
+
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	// The feeder: append each batch durably, then fold it into the
+	// engine — so the engine's sequence never runs ahead of what a
+	// restart can recover. A degraded WAL (disk full) retries the same
+	// batch until the writer heals rather than ingesting records a
+	// crash would lose.
+	stopFeed := make(chan struct{})
+	feedDone := make(chan struct{})
+	go func() {
+		defer close(feedDone)
+		for off := recovered; off < len(part); {
+			select {
+			case <-stopFeed:
+				return
+			case <-time.After(*pace):
+			}
+			end := off + *batch
+			if end > len(part) {
+				end = len(part)
+			}
+			if err := wlog.Append(part[off:end]); err != nil {
+				log.Printf("shard %d: wal append: %v (retrying)", *index, err)
+				continue
+			}
+			engine.Ingest(part[off:end])
+			off = end
+		}
+		engine.Seal()
+		log.Printf("shard %d: feed complete at seq %d", *index, engine.Seq())
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("shard: %v", err)
+	case sig := <-sigc:
+		log.Printf("shard %d: %v: draining...", *index, sig)
+	}
+
+	close(stopFeed)
+	<-feedDone
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shard: drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shard: %v", err)
+	}
+	if err := wlog.Close(); err != nil {
+		log.Fatalf("shard: wal close: %v", err)
+	}
+
+	// Leak check: every goroutine we started must be gone before exit.
+	leaked := 0
+	for i := 0; i < 200; i++ {
+		leaked = runtime.NumGoroutine() - baseline
+		if leaked <= 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked > 0 {
+		log.Fatalf("shard: %d goroutines leaked after drain", leaked)
+	}
+	log.Printf("shard %d: drained cleanly at seq %d", *index, engine.Seq())
+}

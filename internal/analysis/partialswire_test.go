@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/wire"
+)
+
+const quickNumPots = 13
+
+// wireReg is the shared registry for country-table properties; built
+// once, it is read-only thereafter.
+var (
+	wireRegOnce sync.Once
+	wireReg     *geo.Registry
+	wireIPs     []string
+)
+
+func quickRegistry() (*geo.Registry, []string) {
+	wireRegOnce.Do(func() {
+		wireReg = geo.NewRegistry(geo.Config{Seed: 7})
+		for _, as := range wireReg.ASes()[:64] {
+			if loc, ok := wireReg.Lookup(as.Base); ok {
+				wireIPs = append(wireIPs, loc.IP.String())
+			}
+		}
+	})
+	return wireReg, wireIPs
+}
+
+// dayRec is one (record, day) fold input.
+type dayRec struct {
+	rec *honeypot.SessionRecord
+	day int
+}
+
+// quickFold wraps a random fold input so testing/quick can generate it.
+// The draws deliberately collide: a small IP pool (some resolvable in
+// the registry), a small hash pool, and a small day range, so merges
+// actually exercise set-union paths instead of disjoint inserts.
+type quickFold struct{ recs []dayRec }
+
+func (quickFold) Generate(r *rand.Rand, size int) reflect.Value {
+	_, ips := quickRegistry()
+	hashes := []string{"aa01", "bb02", "cc03", "dd04"}
+	n := r.Intn(size + 1)
+	recs := make([]dayRec, 0, n)
+	for i := 0; i < n; i++ {
+		m := mk{
+			day: r.Intn(9) - 1,            // include day -1: sets must carry negatives
+			pot: r.Intn(quickNumPots + 2), // some out of table range
+			ip:  ips[r.Intn(len(ips))],
+		}
+		switch r.Intn(4) {
+		case 1:
+			m.logins = failLogin()
+		case 2:
+			m.logins, m.commands = okLogin(), cmd("wget x")
+		case 3:
+			m.logins = okLogin()
+			m.files = []honeypot.FileRecord{{Path: "/tmp/a", Hash: hashes[r.Intn(len(hashes))], Op: "wget", Size: 100}}
+			m.uris = []string{"http://evil/a"}
+		}
+		if r.Intn(3) == 0 {
+			m.proto = honeypot.Telnet
+		}
+		rec := m.rec()
+		rec.ClientVersion = "SSH-2.0-x"
+		recs = append(recs, dayRec{rec: rec, day: m.day})
+	}
+	return reflect.ValueOf(quickFold{recs})
+}
+
+func foldBundle(recs []dayRec, reg *geo.Registry, countries bool) *Partials {
+	p := NewPartials(quickNumPots, reg, countries)
+	for _, dr := range recs {
+		p.Add(dr.rec, dr.day)
+	}
+	return p
+}
+
+// finalizeAll materializes every table of a bundle, JSON-encoded so
+// equality means byte-identity of the served artifact.
+func finalizeAll(t *testing.T, p *Partials) []byte {
+	t.Helper()
+	out := struct {
+		Summary   CategoryShares
+		Pots      []PerHoneypot
+		Clients   []ClientStat
+		Countries []CountryCount
+		Hashes    []HashStat
+	}{
+		Summary: p.Cats.Finalize(),
+		Pots:    p.Pots.Finalize(),
+		Clients: p.Clients.Finalize(),
+		Hashes:  p.Hashes.Finalize(nil),
+	}
+	if p.Countries != nil {
+		out.Countries = p.Countries.Finalize()
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func encodeBundle(p *Partials) []byte {
+	b := wire.NewBuilder(4 << 10)
+	p.Encode(b)
+	return b.Bytes()
+}
+
+func decodeBundle(t *testing.T, raw []byte) *Partials {
+	t.Helper()
+	r := wire.NewReader(raw)
+	r.SetMaxStringLen(len(raw))
+	p, err := DecodePartials(r)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("decode left %d bytes", r.Remaining())
+	}
+	return p
+}
+
+// TestPartialsWireMergeEquivalence is the distributed-merge contract:
+// for any two shards' fold inputs, encoding each shard's bundle,
+// decoding fresh copies, and merging them equals folding all records
+// directly — for every accumulator type, including empty and
+// single-entry bundles (quick draws sizes from zero up).
+func TestPartialsWireMergeEquivalence(t *testing.T) {
+	reg, _ := quickRegistry()
+	for _, countries := range []bool{true, false} {
+		prop := func(a, b quickFold) bool {
+			direct := foldBundle(append(append([]dayRec{}, a.recs...), b.recs...), reg, countries)
+			dest := NewPartials(quickNumPots, nil, countries)
+			for _, f := range []quickFold{a, b} {
+				enc := encodeBundle(foldBundle(f.recs, reg, countries))
+				if err := dest.Merge(decodeBundle(t, enc)); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+			}
+			return bytes.Equal(finalizeAll(t, direct), finalizeAll(t, dest))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("countries=%v: %v", countries, err)
+		}
+	}
+}
+
+// TestPartialsWireSingleAndEmpty pins the edge shapes explicitly: an
+// empty bundle and a one-record bundle round-trip and merge cleanly.
+func TestPartialsWireSingleAndEmpty(t *testing.T) {
+	reg, ips := quickRegistry()
+	empty := NewPartials(quickNumPots, reg, true)
+	one := NewPartials(quickNumPots, reg, true)
+	rec := mk{day: 3, pot: 1, ip: ips[0], logins: okLogin(), commands: cmd("ls")}.rec()
+	one.Add(rec, 3)
+	for name, p := range map[string]*Partials{"empty": empty, "single": one} {
+		dec := decodeBundle(t, encodeBundle(p))
+		if !bytes.Equal(finalizeAll(t, p), finalizeAll(t, dec)) {
+			t.Errorf("%s: decoded bundle finalizes differently", name)
+		}
+		dest := NewPartials(quickNumPots, nil, true)
+		if err := dest.Merge(dec); err != nil {
+			t.Errorf("%s: merge: %v", name, err)
+		}
+	}
+}
+
+// TestPartialsEncodeDeterminism: the encoding is a function of the
+// accumulated state, not of fold order or map iteration order — two
+// bundles folded from permuted streams produce identical bytes.
+func TestPartialsEncodeDeterminism(t *testing.T) {
+	reg, _ := quickRegistry()
+	rng := rand.New(rand.NewSource(5))
+	f, _ := quickFold{}.Generate(rng, 80).Interface().(quickFold)
+	fwd := foldBundle(f.recs, reg, true)
+	shuffled := append([]dayRec{}, f.recs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	rev := foldBundle(shuffled, reg, true)
+	a, b := encodeBundle(fwd), encodeBundle(rev)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("permuted fold changed encoding: %d vs %d bytes", len(a), len(b))
+	}
+	// Decode → re-encode is also byte-stable.
+	if c := encodeBundle(decodeBundle(t, a)); !bytes.Equal(a, c) {
+		t.Fatal("decode→re-encode changed bytes")
+	}
+}
+
+// TestPartialsDecodeRejects: corrupt or mismatched bundles fail loudly
+// instead of misdecoding.
+func TestPartialsDecodeRejects(t *testing.T) {
+	reg, _ := quickRegistry()
+	raw := encodeBundle(foldBundle(nil, reg, true))
+
+	bad := append([]byte{}, raw...)
+	bad[0] = 99 // version byte
+	r := wire.NewReader(bad)
+	r.SetMaxStringLen(len(bad))
+	if _, err := DecodePartials(r); err == nil {
+		t.Error("version 99 decoded")
+	}
+	for _, n := range []int{1, len(raw) / 2, len(raw) - 1} {
+		r := wire.NewReader(raw[:n])
+		r.SetMaxStringLen(n)
+		if _, err := DecodePartials(r); err == nil {
+			t.Errorf("truncation at %d decoded", n)
+		}
+	}
+
+	// Shape mismatches refuse to merge.
+	with := NewPartials(quickNumPots, reg, true)
+	without := NewPartials(quickNumPots, nil, false)
+	if err := with.Merge(without); err == nil {
+		t.Error("country-table mismatch merged")
+	}
+	small := NewPartials(quickNumPots-1, nil, true)
+	if err := with.Merge(small); err == nil {
+		t.Error("pot-table size mismatch merged")
+	}
+}

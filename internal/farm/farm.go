@@ -105,11 +105,6 @@ type potState struct {
 	listeners []*netsim.Listener
 }
 
-type restartReq struct {
-	pot int
-	gen int
-}
-
 // Farm is a running honeyfarm.
 type Farm struct {
 	cfg         Config
@@ -132,7 +127,7 @@ type Farm struct {
 	conns  map[net.Conn]int // live connection -> pot index
 
 	stopCh    chan struct{}
-	restartCh chan restartReq
+	restarter *faults.Restarter
 	connSeq   atomic.Uint64
 	wg        sync.WaitGroup
 }
@@ -189,7 +184,6 @@ func New(cfg Config) (*Farm, error) {
 		droppedByPot: make([]int, len(deployments)),
 		conns:        make(map[net.Conn]int),
 		stopCh:       make(chan struct{}),
-		restartCh:    make(chan restartReq, 2*len(deployments)+8),
 	}
 	if cfg.Durable != nil {
 		f.collector.SetDurable(cfg.Durable)
@@ -314,8 +308,13 @@ func (f *Farm) Start() error {
 	if f.cfg.Faults.ConnActive() {
 		f.installFaultHook()
 	}
-	f.wg.Add(1)
-	go f.supervise()
+	f.restarter = faults.NewRestarter(faults.RestarterConfig{
+		Backoff: f.cfg.Faults.Backoff,
+		Hold:    f.restartHold,
+		Try:     f.tryRestart,
+		Stop:    f.stopCh,
+		Pending: 2*len(f.deployments) + 8,
+	})
 	if f.cfg.Faults != nil && f.cfg.DayLength > 0 {
 		f.scheduleOutages()
 	}
@@ -391,57 +390,32 @@ func (f *Farm) serve(l *netsim.Listener, pot int, handle func(net.Conn)) {
 	}()
 }
 
-// supervise restarts downed pots. Each takedown enqueues a restart
-// request; the supervisor hands it to a backoff loop that re-binds the
-// pot's listeners once any outage hold expires.
-func (f *Farm) supervise() {
-	defer f.wg.Done()
-	for {
-		select {
-		case <-f.stopCh:
-			return
-		case req := <-f.restartCh:
-			f.wg.Add(1)
-			go func() {
-				defer f.wg.Done()
-				f.restartLoop(req)
-			}()
-		}
-	}
+// restartHold is the Restarter's hold floor: the remainder of the
+// pot's planned outage window, so supervised restarts never cut an
+// outage short.
+func (f *Farm) restartHold(pot int) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Until(f.states[pot].holdUntil)
 }
 
-// restartLoop waits out the backoff (and any outage hold) then re-binds
-// pot req.pot. A bind conflict retries with the next backoff step.
-func (f *Farm) restartLoop(req restartReq) {
-	for attempt := 0; ; attempt++ {
-		delay := f.cfg.Faults.Backoff(req.pot, attempt)
-		f.mu.Lock()
-		if hold := time.Until(f.states[req.pot].holdUntil); hold > delay {
-			delay = hold
-		}
-		f.mu.Unlock()
-		select {
-		case <-f.stopCh:
-			return
-		case <-time.After(delay):
-		}
-		f.mu.Lock()
-		st := &f.states[req.pot]
-		if f.stopped || st.up || st.gen != req.gen {
-			// Superseded: farm stopping, already restarted, or a newer
-			// takedown owns this pot now.
-			f.mu.Unlock()
-			return
-		}
-		err := f.bindLocked(req.pot)
-		if err == nil {
-			f.stats.Restarts++
-		}
-		f.mu.Unlock()
-		if err == nil {
-			return
-		}
+// tryRestart is the Restarter's attempt callback: re-bind pot's
+// listeners unless the request was superseded. A bind conflict retries
+// with the next backoff step.
+func (f *Farm) tryRestart(pot, gen, _ int) faults.RestartOutcome {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := &f.states[pot]
+	if f.stopped || st.up || st.gen != gen {
+		// Superseded: farm stopping, already restarted, or a newer
+		// takedown owns this pot now.
+		return faults.RestartDone
 	}
+	if err := f.bindLocked(pot); err != nil {
+		return faults.RestartRetry
+	}
+	f.stats.Restarts++
+	return faults.RestartDone
 }
 
 // Kill takes honeypot i down as if it crashed: listeners unbind, its
@@ -475,10 +449,7 @@ func (f *Farm) killUntil(i int, hold time.Time) {
 		}
 	}
 	f.connMu.Unlock()
-	select {
-	case f.restartCh <- restartReq{pot: i, gen: gen}:
-	case <-f.stopCh:
-	}
+	f.restarter.Request(i, gen)
 }
 
 // scheduleOutages arms one timer goroutine per planned outage window,
@@ -511,9 +482,13 @@ func (f *Farm) scheduleOutages() {
 // farm's goroutines joined.
 func (f *Farm) Stop() {
 	f.mu.Lock()
+	restarter := f.restarter
 	if f.stopped {
 		f.mu.Unlock()
 		f.wg.Wait()
+		if restarter != nil {
+			restarter.Wait()
+		}
 		return
 	}
 	f.stopped = true
@@ -529,6 +504,9 @@ func (f *Farm) Stop() {
 	done := make(chan struct{})
 	go func() {
 		f.wg.Wait()
+		if restarter != nil {
+			restarter.Wait()
+		}
 		close(done)
 	}()
 	if drain > 0 {

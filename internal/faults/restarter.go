@@ -1,0 +1,138 @@
+package faults
+
+// Restarter is the generation-deduplicated restart supervisor shared by
+// the farm (re-binding downed honeypots) and the shard merge
+// coordinator (re-probing downed collectors). Both have the same shape:
+// a unit goes down under a generation number, a restart request carries
+// that generation, and a per-request loop waits out a capped-exponential
+// backoff before each attempt. The generation is the dedup: any newer
+// takedown bumps it, so a stale loop's attempt observes the mismatch
+// and bows out instead of fighting the newer loop over the same unit.
+
+import (
+	"sync"
+	"time"
+)
+
+// RestartOutcome is a Try callback's verdict on one restart attempt.
+type RestartOutcome int
+
+const (
+	// RestartDone ends the loop: the unit is back up, or the request was
+	// superseded (unit already up, generation stale, owner stopping).
+	RestartDone RestartOutcome = iota
+	// RestartRetry schedules another attempt after the next backoff step.
+	RestartRetry
+)
+
+// RestarterConfig parameterizes NewRestarter.
+type RestarterConfig struct {
+	// Backoff returns the delay before attempt (0-based) for unit id —
+	// typically Plan.Backoff, which is deterministic per (id, attempt).
+	// Required.
+	Backoff func(id, attempt int) time.Duration
+	// Hold, when non-nil, returns an extra floor on the next attempt's
+	// delay for unit id (e.g. the remainder of a planned outage window).
+	// It is consulted before every attempt, so a moving hold keeps
+	// pushing the restart out.
+	Hold func(id int) time.Duration
+	// Try performs one restart attempt for unit id under generation gen.
+	// It must itself check the generation against the unit's current
+	// state and return RestartDone when superseded. Required.
+	Try func(id, gen, attempt int) RestartOutcome
+	// Stop, when closed, ends the dispatcher and every in-flight loop at
+	// their next select. Required.
+	Stop <-chan struct{}
+	// Pending bounds queued requests before Request blocks (default 16).
+	Pending int
+}
+
+// Restarter runs one backoff loop per restart request. All goroutines
+// exit when the Stop channel closes; Wait joins them.
+type Restarter struct {
+	cfg   RestarterConfig
+	reqCh chan restartRequest
+	wg    sync.WaitGroup
+}
+
+type restartRequest struct {
+	id  int
+	gen int
+}
+
+// NewRestarter starts the dispatcher goroutine and returns the
+// supervisor. The caller owns the Stop channel's lifecycle and must
+// call Wait after closing it to join the dispatcher and any loops.
+func NewRestarter(cfg RestarterConfig) *Restarter {
+	if cfg.Pending <= 0 {
+		cfg.Pending = 16
+	}
+	r := &Restarter{cfg: cfg, reqCh: make(chan restartRequest, cfg.Pending)}
+	r.wg.Add(1)
+	go r.dispatch()
+	return r
+}
+
+// Request enqueues a restart of unit id under generation gen. It
+// returns false (dropping the request) once the Stop channel closes.
+func (r *Restarter) Request(id, gen int) bool {
+	// Checked first on its own: with Stop closed and buffer room free,
+	// a single select would pick between the two ready cases at random
+	// and sometimes enqueue onto a dispatcher that already exited.
+	select {
+	case <-r.cfg.Stop:
+		return false
+	default:
+	}
+	select {
+	case r.reqCh <- restartRequest{id: id, gen: gen}:
+		return true
+	case <-r.cfg.Stop:
+		return false
+	}
+}
+
+// Wait joins the dispatcher and all restart loops. Call after the Stop
+// channel closes.
+func (r *Restarter) Wait() { r.wg.Wait() }
+
+// dispatch hands each request its own backoff loop, so slow restarts
+// never head-of-line block unrelated units.
+func (r *Restarter) dispatch() {
+	defer r.wg.Done()
+	for running := true; running; {
+		select {
+		case <-r.cfg.Stop:
+			running = false
+		case req := <-r.reqCh:
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				r.loop(req)
+			}()
+		}
+	}
+}
+
+// loop waits out the backoff (raised to any hold floor) then attempts
+// the restart, retrying with the next backoff step until Try reports
+// RestartDone or the Stop channel closes.
+func (r *Restarter) loop(req restartRequest) {
+	for attempt, running := 0, true; running; attempt++ {
+		delay := r.cfg.Backoff(req.id, attempt)
+		if r.cfg.Hold != nil {
+			if hold := r.cfg.Hold(req.id); hold > delay {
+				delay = hold
+			}
+		}
+		select {
+		case <-r.cfg.Stop:
+			running = false
+			continue
+		case <-time.After(delay):
+		}
+		if r.cfg.Try(req.id, req.gen, attempt) == RestartDone {
+			running = false
+		}
+	}
+}

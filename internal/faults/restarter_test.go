@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRestarterRetriesUntilDone: a request loops through RestartRetry
+// verdicts, one backoff step apart, until Try reports done.
+func TestRestarterRetriesUntilDone(t *testing.T) {
+	stop := make(chan struct{})
+	var attempts atomic.Int32
+	done := make(chan struct{})
+	r := NewRestarter(RestarterConfig{
+		Backoff: func(id, attempt int) time.Duration { return time.Millisecond },
+		Try: func(id, gen, attempt int) RestartOutcome {
+			if attempt != int(attempts.Load()) {
+				t.Errorf("attempt %d, want %d", attempt, attempts.Load())
+			}
+			if attempts.Add(1) < 3 {
+				return RestartRetry
+			}
+			close(done)
+			return RestartDone
+		},
+		Stop: stop,
+	})
+	if !r.Request(4, 1) {
+		t.Fatal("Request refused before stop")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("restart never completed")
+	}
+	close(stop)
+	r.Wait()
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestRestarterHoldFloor: the Hold callback raises the delay floor, so
+// an attempt never fires before the hold expires.
+func TestRestarterHoldFloor(t *testing.T) {
+	stop := make(chan struct{})
+	start := time.Now()
+	hold := 50 * time.Millisecond
+	done := make(chan struct{})
+	r := NewRestarter(RestarterConfig{
+		Backoff: func(id, attempt int) time.Duration { return time.Millisecond },
+		Hold:    func(id int) time.Duration { return hold - time.Since(start) },
+		Try: func(id, gen, attempt int) RestartOutcome {
+			if elapsed := time.Since(start); elapsed < hold {
+				t.Errorf("attempt fired %v into a %v hold", elapsed, hold)
+			}
+			close(done)
+			return RestartDone
+		},
+		Stop: stop,
+	})
+	r.Request(0, 1)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("restart never completed")
+	}
+	close(stop)
+	r.Wait()
+}
+
+// TestRestarterGenerationDedup: the Try callback owns the dedup — a
+// loop whose generation went stale returns RestartDone without acting,
+// and only the newest generation's attempt takes effect.
+func TestRestarterGenerationDedup(t *testing.T) {
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	cur := 2 // newest generation
+	acted := []int{}
+	done := make(chan struct{})
+	r := NewRestarter(RestarterConfig{
+		Backoff: func(id, attempt int) time.Duration { return time.Millisecond },
+		Try: func(id, gen, attempt int) RestartOutcome {
+			mu.Lock()
+			defer mu.Unlock()
+			if gen != cur {
+				return RestartDone // stale: a newer takedown owns the unit
+			}
+			acted = append(acted, gen)
+			close(done)
+			return RestartDone
+		},
+		Stop: stop,
+	})
+	r.Request(7, 1) // stale from the start
+	r.Request(7, 2)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("restart never completed")
+	}
+	close(stop)
+	r.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(acted) != 1 || acted[0] != 2 {
+		t.Fatalf("acted generations = %v, want [2]", acted)
+	}
+}
+
+// TestRestarterStopJoins: closing Stop ends a loop parked on a long
+// backoff, and Wait returns with no goroutines left behind.
+func TestRestarterStopJoins(t *testing.T) {
+	stop := make(chan struct{})
+	r := NewRestarter(RestarterConfig{
+		Backoff: func(id, attempt int) time.Duration { return time.Hour },
+		Try: func(id, gen, attempt int) RestartOutcome {
+			t.Error("Try fired despite hour-long backoff")
+			return RestartDone
+		},
+		Stop: stop,
+	})
+	r.Request(1, 1)
+	time.Sleep(5 * time.Millisecond) // let the loop park on its timer
+	close(stop)
+	waited := make(chan struct{})
+	go func() { r.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after stop")
+	}
+	if r.Request(2, 1) {
+		t.Error("Request accepted after stop")
+	}
+}

@@ -23,6 +23,7 @@ var DeterministicPkgSuffixes = []string{
 	"internal/query",
 	"internal/report",
 	"internal/scenario",
+	"internal/shard",
 	"internal/stats",
 	"internal/wal",
 	"internal/wire",

@@ -19,7 +19,7 @@ var builderNonField = map[string]bool{"Bytes": true, "Len": true, "Reset": true}
 
 // readerNonField are exported *Reader methods that inspect or configure
 // state rather than decoding a wire field.
-var readerNonField = map[string]bool{"Err": true, "Remaining": true, "Rest": true, "SetMaxStringLen": true}
+var readerNonField = map[string]bool{"Err": true, "Remaining": true, "Rest": true, "SetMaxStringLen": true, "SetErrf": true}
 
 // WireSymmetry checks that a wire codec package stays round-trippable:
 // every exported field-appending method on Builder (those returning

@@ -32,6 +32,7 @@ import (
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/honeypot"
 	"honeyfarm/internal/store"
+	"honeyfarm/internal/wire"
 )
 
 // Config parameterizes an Engine.
@@ -92,11 +93,7 @@ type Engine struct {
 	seq       uint64
 	maxDay    int
 	sinceSeal int
-	cats      *analysis.CategoryAccum
-	pots      *analysis.PotAccum
-	clients   *analysis.ClientAccum
-	countries *analysis.CountryAccum
-	hashes    *analysis.HashAccum
+	parts     *analysis.Partials
 
 	cur atomic.Pointer[Snapshot]
 }
@@ -105,16 +102,10 @@ type Engine struct {
 // so readers never observe a nil view.
 func New(cfg Config) *Engine {
 	e := &Engine{
-		cfg:     cfg,
-		epoch:   store.NormalizeEpoch(cfg.Epoch),
-		maxDay:  -1,
-		cats:    new(analysis.CategoryAccum),
-		pots:    analysis.NewPotAccum(cfg.NumPots),
-		clients: analysis.NewClientAccum(-1),
-		hashes:  analysis.NewHashAccum(),
-	}
-	if cfg.Registry != nil {
-		e.countries = analysis.NewCountryAccum(cfg.Registry, nil)
+		cfg:    cfg,
+		epoch:  store.NormalizeEpoch(cfg.Epoch),
+		maxDay: -1,
+		parts:  analysis.NewPartials(cfg.NumPots, cfg.Registry, cfg.Registry != nil),
 	}
 	e.mu.Lock()
 	e.sealLocked()
@@ -140,13 +131,7 @@ func (e *Engine) Ingest(recs []*honeypot.SessionRecord) {
 		if day > e.maxDay {
 			e.maxDay = day
 		}
-		e.cats.Add(r)
-		e.pots.Add(r)
-		e.clients.Add(r, day)
-		if e.countries != nil {
-			e.countries.Add(r)
-		}
-		e.hashes.Add(r, day)
+		e.parts.Add(r, day)
 	}
 	e.seq += uint64(len(recs))
 	e.sinceSeal += len(recs)
@@ -168,25 +153,50 @@ func (e *Engine) Seal() *Snapshot {
 // copy everything out of the accumulators, so the snapshot stays
 // immutable while ingest keeps folding into them.
 func (e *Engine) sealLocked() *Snapshot {
-	snap := &Snapshot{
-		Seq:     e.seq,
-		Days:    e.maxDay + 1,
-		Summary: e.cats.Finalize(),
-		Pots:    e.pots.Finalize(),
-		Clients: e.clients.Finalize(),
-		Hashes:  e.hashes.Finalize(e.cfg.Tagger),
-	}
-	if e.countries != nil {
-		snap.Countries = e.countries.Finalize()
-	}
-	days := snap.Days
-	if e.cfg.Faults != nil && e.cfg.Faults.Days > 0 {
-		days = e.cfg.Faults.Days
-	}
-	snap.Availability = analysis.AvailabilityFromPer(snap.Pots, e.cfg.Faults, days)
+	snap := MaterializeSnapshot(e.parts, e.seq, e.maxDay+1, e.cfg.Tagger, e.cfg.Faults)
 	e.sinceSeal = 0
 	e.cur.Store(snap)
 	return snap
+}
+
+// MaterializeSnapshot finalizes a partial-aggregate bundle into an
+// immutable snapshot covering seq records over days day buckets. It is
+// THE materialization path: the engine's seal calls it for single-node
+// snapshots and the distributed merge coordinator calls it over merged
+// shard bundles, so the two can never disagree about how accumulators
+// become tables. The Finalize calls copy everything out of the bundle;
+// the snapshot stays immutable while callers keep folding into it.
+func MaterializeSnapshot(p *analysis.Partials, seq uint64, days int, tagger analysis.Tagger, rep *faults.Report) *Snapshot {
+	snap := &Snapshot{
+		Seq:     seq,
+		Days:    days,
+		Summary: p.Cats.Finalize(),
+		Pots:    p.Pots.Finalize(),
+		Clients: p.Clients.Finalize(),
+		Hashes:  p.Hashes.Finalize(tagger),
+	}
+	if p.Countries != nil {
+		snap.Countries = p.Countries.Finalize()
+	}
+	availDays := days
+	if rep != nil && rep.Days > 0 {
+		availDays = rep.Days
+	}
+	snap.Availability = analysis.AvailabilityFromPer(snap.Pots, rep, availDays)
+	return snap
+}
+
+// EncodePartials appends the engine's complete accumulator state to b
+// in the analysis wire layout and returns the exact ingest sequence and
+// day span the encoding covers. It runs under the ingest mutex, so the
+// triple is a consistent cut of the stream: decoding the bytes yields a
+// bundle equal to folding exactly the first seq records. This is what a
+// shard collector serves to the merge coordinator.
+func (e *Engine) EncodePartials(b *wire.Builder) (seq uint64, days int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.parts.Encode(b)
+	return e.seq, e.maxDay + 1
 }
 
 // Snapshot returns the most recently sealed snapshot. It never blocks

@@ -29,10 +29,42 @@ import (
 	"honeyfarm/internal/wal"
 )
 
+// Source supplies the snapshots a Server renders: the local Engine for
+// a single-node farm, or the distributed merge coordinator
+// (internal/shard) for a multi-node one. Snapshot must never return
+// nil and must never block; Seq may run ahead of the published
+// snapshot's sequence.
+type Source interface {
+	Snapshot() *Snapshot
+	Seq() uint64
+	Epoch() time.Time
+}
+
+// ShardStatus is one collector shard's health as the merge coordinator
+// sees it, surfaced through /v1/healthz on a merge node. LastSeq and
+// LastOKUnix are the staleness accounting: how far into the shard's
+// stream the merged snapshot reaches, and when the shard last answered
+// a pull.
+type ShardStatus struct {
+	ID  int    `json:"id"`
+	URL string `json:"url"`
+	// Up reports the shard is answering pulls; a down shard's last
+	// installed partial keeps serving (stale) until it recovers.
+	Up      bool   `json:"up"`
+	LastSeq uint64 `json:"last_seq"`
+	// LastOKUnix is the wall-clock second of the last successful pull
+	// (0 when the coordinator runs without a clock, as tests do).
+	LastOKUnix int64 `json:"last_ok_unix,omitempty"`
+	// Failures counts consecutive failed pulls/probes since the last
+	// success.
+	Failures int    `json:"failures,omitempty"`
+	LastErr  string `json:"last_err,omitempty"`
+}
+
 // ServerConfig parameterizes NewServer.
 type ServerConfig struct {
-	// Engine supplies snapshots. Required.
-	Engine *Engine
+	// Source supplies snapshots. Required.
+	Source Source
 	// Follower, when the engine is fed by a WAL tail, surfaces its
 	// position and terminal error in /v1/healthz. Optional.
 	Follower *Follower
@@ -41,6 +73,12 @@ type ServerConfig struct {
 	// writer turns the status to "degraded:wal" (HTTP 503) and its
 	// count-and-drop losses appear as wal_dropped_records. Optional.
 	WALHealth func() wal.Health
+	// Shards, when the serving process is a merge coordinator, supplies
+	// the fleet's per-shard health for /v1/healthz: any down shard turns
+	// the status to "degraded:shard" (HTTP 503) while the merged
+	// snapshot keeps serving from healthy shards plus the down shard's
+	// last installed state. Optional.
+	Shards func() []ShardStatus
 	// MaxInflight bounds concurrently rendered responses (default 64).
 	MaxInflight int
 	// ClientRows is the default (and maximum) row count for /v1/clients
@@ -48,11 +86,12 @@ type ServerConfig struct {
 	ClientRows int
 }
 
-// Server renders an Engine's snapshots over HTTP.
+// Server renders a Source's snapshots over HTTP.
 type Server struct {
-	engine     *Engine
+	source     Source
 	follower   *Follower
 	walHealth  func() wal.Health
+	shards     func() []ShardStatus
 	sem        chan struct{}
 	clientRows int
 
@@ -70,7 +109,7 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewServer creates a server over the engine.
+// NewServer creates a server over the snapshot source.
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 64
@@ -79,9 +118,10 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg.ClientRows = 100
 	}
 	return &Server{
-		engine:     cfg.Engine,
+		source:     cfg.Source,
 		follower:   cfg.Follower,
 		walHealth:  cfg.WALHealth,
+		shards:     cfg.Shards,
 		sem:        make(chan struct{}, cfg.MaxInflight),
 		clientRows: cfg.ClientRows,
 		cache:      make(map[string]*cacheEntry),
@@ -95,7 +135,7 @@ func (s *Server) Handler() http.Handler {
 		s.serveSnapshot(w, r, "summary", func(snap *Snapshot) any {
 			return summaryResponse{
 				Seq: snap.Seq, Days: snap.Days,
-				Epoch:    s.engine.Epoch().Format(time.RFC3339),
+				Epoch:    s.source.Epoch().Format(time.RFC3339),
 				Sessions: snap.Summary.Total,
 				Clients:  len(snap.Clients),
 				Hashes:   len(snap.Hashes),
@@ -189,7 +229,10 @@ type healthzResponse struct {
 	// keeping healthy responses byte-stable.
 	WALDroppedRecords int    `json:"wal_dropped_records,omitempty"`
 	WALDropReason     string `json:"wal_drop_reason,omitempty"`
-	Error             string `json:"error,omitempty"`
+	// Shards is the merge coordinator's per-shard staleness table; only
+	// present on merge nodes.
+	Shards []ShardStatus `json:"shards,omitempty"`
+	Error  string        `json:"error,omitempty"`
 }
 
 // limitParam parses ?limit= clamped to [0, max]; absent selects max.
@@ -223,7 +266,7 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request, key strin
 		http.Error(w, "canceled", http.StatusServiceUnavailable)
 		return
 	}
-	entry := s.entry(s.engine.Snapshot(), key)
+	entry := s.entry(s.source.Snapshot(), key)
 	etag := fmt.Sprintf("\"q%d-%s\"", entry.snap.Seq, key)
 	w.Header().Set("Cache-Control", "no-cache")
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
@@ -292,10 +335,10 @@ func etagMatches(header, etag string) bool {
 // render semaphore, and degraded (HTTP 503) once the follower hit a
 // terminal error.
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.engine.Snapshot()
+	snap := s.source.Snapshot()
 	resp := healthzResponse{
 		Status:      "ok",
-		IngestedSeq: s.engine.Seq(),
+		IngestedSeq: s.source.Seq(),
 		SnapshotSeq: snap.Seq,
 		Days:        snap.Days,
 	}
@@ -323,6 +366,18 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		if h.Degraded {
 			resp.Status = "degraded:wal"
 			resp.WALDropReason = h.Reason
+		}
+	}
+	if s.shards != nil {
+		resp.Shards = s.shards()
+		// A down shard degrades the node but does not stop it: the merged
+		// snapshot keeps serving healthy shards plus the down shard's last
+		// installed partial.
+		for _, sh := range resp.Shards {
+			if !sh.Up {
+				resp.Status = "degraded:shard"
+				break
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -41,7 +41,7 @@ func testServer(t *testing.T) *httptest.Server {
 	})
 	eng.Ingest(d.Store.Records())
 	eng.Seal()
-	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng}).Handler())
+	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Source: eng}).Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -161,7 +161,7 @@ func TestETagRotatesWithSnapshot(t *testing.T) {
 	recs := d.Store.Records()
 	eng.Ingest(recs[:20])
 	eng.Seal()
-	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng}).Handler())
+	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Source: eng}).Handler())
 	defer srv.Close()
 
 	r1, _ := get(t, srv, "/v1/pots")
@@ -186,7 +186,7 @@ func TestConcurrentReads(t *testing.T) {
 	}
 	recs := d.Store.Records()
 	eng := query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: numPots, Registry: d.Registry})
-	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng, MaxInflight: 4}).Handler())
+	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Source: eng, MaxInflight: 4}).Handler())
 	defer srv.Close()
 
 	var wg sync.WaitGroup
@@ -265,7 +265,7 @@ func TestHealthzDegradedWAL(t *testing.T) {
 
 	// Writer side: the WALHealth hook sees the open outage.
 	eng := query.New(query.Config{Epoch: honeyfarm.DefaultEpoch, NumPots: 1})
-	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng, WALHealth: l.Health}).Handler())
+	srv := httptest.NewServer(query.NewServer(query.ServerConfig{Source: eng, WALHealth: l.Health}).Handler())
 	defer srv.Close()
 	resp, h := healthz(srv)
 	if resp.StatusCode != http.StatusServiceUnavailable {
@@ -302,7 +302,7 @@ func TestHealthzDegradedWAL(t *testing.T) {
 	f.Start()
 	defer f.Stop()
 	waitUntil(t, "records tailed", func() bool { return eng2.Snapshot().Seq == 2 })
-	srv2 := httptest.NewServer(query.NewServer(query.ServerConfig{Engine: eng2, Follower: f}).Handler())
+	srv2 := httptest.NewServer(query.NewServer(query.ServerConfig{Source: eng2, Follower: f}).Handler())
 	defer srv2.Close()
 	resp, h = healthz(srv2)
 	if resp.StatusCode != http.StatusOK || h.Status != "ok" {

@@ -1,0 +1,384 @@
+package shard
+
+// The merge coordinator: one puller goroutine per shard walks the pull
+// API on a fixed cadence, installs monotonically newer partials frames,
+// and a single merger goroutine folds the installed frames into a
+// global snapshot. Supervision reuses the farm's generation-deduped
+// restart machinery (faults.Restarter): FailAfter consecutive failures
+// mark a shard down and hand it to a capped-exponential probe loop;
+// the regular puller skips a down shard so the two never race.
+//
+// Two invariants carry the robustness story:
+//
+//   - Monotonic resumption: a frame whose seq is below the shard's
+//     installed seq is ignored (the shard restarted and is replaying
+//     its WAL); the installed state keeps serving until the shard
+//     catches back up, so the merged snapshot never moves backwards.
+//   - Degradation without regression: a down shard's last installed
+//     frame stays in the merge, so the global snapshot keeps covering
+//     every record it ever covered. The staleness is surfaced per shard
+//     (ShardStatuses → /v1/healthz "degraded:shard"), never hidden.
+//
+// The installed unit is the frame's raw bytes, not a decoded bundle:
+// accumulator Merge adopts entries by reference, so every merge decodes
+// fresh copies from the bytes. That makes merges idempotent and keeps
+// the installed state immutable.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/faults"
+	"honeyfarm/internal/query"
+	"honeyfarm/internal/store"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Shards lists the collector base URLs (e.g. "http://host:port"),
+	// one per shard; shard IDs are indexes into this list. Required.
+	Shards []string
+	// NumPots sizes the global per-honeypot table; every shard must
+	// serve bundles sized identically. Required.
+	NumPots int
+	// Countries declares whether shards carry a country table; a bundle
+	// with mismatched shape is rejected at install time.
+	Countries bool
+	// Epoch is the fleet's day-bucketing epoch, surfaced through the
+	// query API exactly as an engine's epoch is.
+	Epoch time.Time
+	// Tagger labels file hashes at materialization; nil tags "unknown".
+	Tagger analysis.Tagger
+	// PullEvery is the per-shard pull cadence (default 250ms).
+	PullEvery time.Duration
+	// FailAfter is the consecutive-failure count that marks a shard down
+	// (default 3). Down shards leave the pull cadence for the probe
+	// loop's capped-exponential backoff.
+	FailAfter int
+	// Retry shapes the probe backoff for down shards via Plan.Backoff;
+	// nil uses the plan's deterministic defaults.
+	Retry *faults.Plan
+	// Now supplies the wall clock for per-shard last_ok staleness
+	// stamps. Nil leaves the stamps zero (deterministic tests).
+	Now func() time.Time
+	// Client performs the pulls; nil uses a client with a 5s timeout.
+	Client *http.Client
+}
+
+// shardState is the coordinator's view of one collector shard.
+type shardState struct {
+	url string
+	up  bool
+	gen int // bumped on every mark-down; stale probe attempts are dropped
+	// frame is the latest installed partials frame (nil before first
+	// contact). Immutable once installed; merges decode fresh copies.
+	frame    []byte
+	seq      uint64
+	days     int
+	lastOK   int64
+	failures int
+	lastErr  string
+}
+
+// Coordinator supervises a shard fleet and publishes merged snapshots.
+// It implements query.Source, so query.NewServer serves a merge node
+// exactly as it serves a single-node engine.
+type Coordinator struct {
+	cfg    Config
+	epoch  time.Time
+	client *http.Client
+
+	mu     sync.Mutex
+	shards []shardState
+	seq    uint64 // sum of installed shard seqs
+
+	cur       atomic.Pointer[query.Snapshot]
+	dirty     chan struct{}
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	restarter *faults.Restarter
+	wg        sync.WaitGroup
+}
+
+// New starts the coordinator: one puller per shard, the merger, and
+// the probe supervisor. The empty snapshot is published immediately, so
+// readers never observe nil even before first shard contact.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: Config.Shards is required")
+	}
+	if cfg.NumPots <= 0 {
+		return nil, errors.New("shard: Config.NumPots is required")
+	}
+	if cfg.PullEvery <= 0 {
+		cfg.PullEvery = 250 * time.Millisecond
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		epoch:  store.NormalizeEpoch(cfg.Epoch),
+		client: cfg.Client,
+		shards: make([]shardState, len(cfg.Shards)),
+		dirty:  make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	for i, url := range cfg.Shards {
+		c.shards[i] = shardState{url: url, up: true}
+	}
+	c.cur.Store(query.MaterializeSnapshot(c.emptyBundle(), 0, 0, cfg.Tagger, nil))
+	c.restarter = faults.NewRestarter(faults.RestarterConfig{
+		Backoff: cfg.Retry.Backoff,
+		Try:     c.tryProbe,
+		Stop:    c.stopCh,
+		Pending: 2*len(cfg.Shards) + 8,
+	})
+	for i := range c.shards {
+		c.wg.Add(1)
+		go c.pullLoop(i)
+	}
+	c.wg.Add(1)
+	go c.mergeLoop()
+	return c, nil
+}
+
+// Stop ends the pullers, probes, and merger, and joins them all.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.restarter.Wait()
+	c.wg.Wait()
+}
+
+// Snapshot returns the most recently merged snapshot. It never blocks
+// and never returns nil (query.Source).
+func (c *Coordinator) Snapshot() *query.Snapshot { return c.cur.Load() }
+
+// Seq returns the sum of installed shard sequences — the number of
+// records the merged state covers (query.Source).
+func (c *Coordinator) Seq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// Epoch returns the fleet's normalized day-bucketing epoch
+// (query.Source).
+func (c *Coordinator) Epoch() time.Time { return c.epoch }
+
+// ShardStatuses snapshots per-shard health for /v1/healthz — the
+// query.ServerConfig.Shards hook.
+func (c *Coordinator) ShardStatuses() []query.ShardStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]query.ShardStatus, len(c.shards))
+	for i := range c.shards {
+		st := &c.shards[i]
+		out[i] = query.ShardStatus{
+			ID: i, URL: st.url, Up: st.up,
+			LastSeq: st.seq, LastOKUnix: st.lastOK,
+			Failures: st.failures, LastErr: st.lastErr,
+		}
+	}
+	return out
+}
+
+// emptyBundle is the merge destination: shaped exactly like a shard's
+// bundle so an empty merge materializes byte-identically to an empty
+// single-node engine.
+func (c *Coordinator) emptyBundle() *analysis.Partials {
+	return analysis.NewPartials(c.cfg.NumPots, nil, c.cfg.Countries)
+}
+
+// pullLoop walks shard i's pull API on the configured cadence. Down
+// shards are skipped — the probe loop owns them until they recover.
+func (c *Coordinator) pullLoop(i int) {
+	defer c.wg.Done()
+	timer := time.NewTimer(c.cfg.PullEvery)
+	defer timer.Stop()
+	for running := true; running; {
+		select {
+		case <-c.stopCh:
+			running = false
+			continue
+		case <-timer.C:
+		}
+		c.mu.Lock()
+		up := c.shards[i].up
+		c.mu.Unlock()
+		if up {
+			c.pullOnce(i)
+		}
+		timer.Reset(c.cfg.PullEvery)
+	}
+}
+
+// pullOnce performs one pull of shard i and reports whether the shard
+// answered with an installable (or already-installed) frame.
+func (c *Coordinator) pullOnce(i int) bool {
+	frame, err := c.fetch(i)
+	if err == nil {
+		err = c.install(i, frame)
+	}
+	if err != nil {
+		c.noteFailure(i, err)
+		return false
+	}
+	return true
+}
+
+// fetch GETs shard i's current partials frame.
+func (c *Coordinator) fetch(i int) ([]byte, error) {
+	c.mu.Lock()
+	url := c.shards[i].url
+	c.mu.Unlock()
+	resp, err := c.client.Get(url + PartialsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: pull status %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// install validates the frame and installs it if it advances shard i's
+// sequence. A frame behind the installed seq is the shard replaying its
+// WAL after a restart: the pull still counts as healthy contact, but
+// the installed state stands until the shard catches up.
+func (c *Coordinator) install(i int, frame []byte) error {
+	seq, days, parts, err := DecodePartialsFrame(frame)
+	if err != nil {
+		return err
+	}
+	if parts.NumPots() != c.cfg.NumPots {
+		return fmt.Errorf("shard: bundle sized for %d pots, fleet has %d", parts.NumPots(), c.cfg.NumPots)
+	}
+	if (parts.Countries != nil) != c.cfg.Countries {
+		return fmt.Errorf("shard: bundle country-table presence %v, fleet wants %v", parts.Countries != nil, c.cfg.Countries)
+	}
+	c.mu.Lock()
+	st := &c.shards[i]
+	st.up = true
+	st.failures = 0
+	st.lastErr = ""
+	if c.cfg.Now != nil {
+		st.lastOK = c.cfg.Now().Unix()
+	}
+	advanced := st.frame == nil || seq > st.seq
+	if advanced {
+		st.frame = frame
+		st.seq = seq
+		st.days = days
+		var sum uint64
+		for j := range c.shards {
+			sum += c.shards[j].seq
+		}
+		c.seq = sum
+	}
+	c.mu.Unlock()
+	if advanced {
+		select {
+		case c.dirty <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// noteFailure counts one failed pull; FailAfter consecutive failures
+// mark the shard down and hand it to the probe supervisor under a
+// fresh generation.
+func (c *Coordinator) noteFailure(i int, err error) {
+	c.mu.Lock()
+	st := &c.shards[i]
+	st.failures++
+	st.lastErr = err.Error()
+	probe := st.up && st.failures >= c.cfg.FailAfter
+	if probe {
+		st.up = false
+		st.gen++
+	}
+	gen := st.gen
+	c.mu.Unlock()
+	if probe {
+		c.restarter.Request(i, gen)
+	}
+}
+
+// tryProbe is the Restarter's attempt callback for a down shard: one
+// pull. Success re-installs and marks the shard up; a stale generation
+// means a newer mark-down owns the shard now.
+func (c *Coordinator) tryProbe(i, gen, _ int) faults.RestartOutcome {
+	c.mu.Lock()
+	st := &c.shards[i]
+	stale := st.up || st.gen != gen
+	c.mu.Unlock()
+	if stale {
+		return faults.RestartDone
+	}
+	if c.pullOnce(i) {
+		return faults.RestartDone
+	}
+	return faults.RestartRetry
+}
+
+// mergeLoop folds the installed frames into a published snapshot
+// whenever an install advances a shard. Coalescing through the
+// one-slot dirty channel means a burst of installs costs one merge.
+func (c *Coordinator) mergeLoop() {
+	defer c.wg.Done()
+	for running := true; running; {
+		select {
+		case <-c.stopCh:
+			running = false
+			continue
+		case <-c.dirty:
+		}
+		c.publish()
+	}
+}
+
+// publish decodes every installed frame fresh, folds the bundles into
+// one, and materializes through the same path as a single-node seal —
+// so the merged snapshot is byte-identical (after JSON encoding) to an
+// engine that ingested all shards' records directly.
+func (c *Coordinator) publish() {
+	c.mu.Lock()
+	frames := make([][]byte, 0, len(c.shards))
+	var seq uint64
+	days := 0
+	for i := range c.shards {
+		st := &c.shards[i]
+		if st.frame == nil {
+			continue
+		}
+		frames = append(frames, st.frame)
+		seq += st.seq
+		if st.days > days {
+			days = st.days
+		}
+	}
+	c.mu.Unlock()
+	dest := c.emptyBundle()
+	for _, frame := range frames {
+		_, _, parts, err := DecodePartialsFrame(frame)
+		if err != nil {
+			continue // unreachable: install validated the bytes
+		}
+		if err := dest.Merge(parts); err != nil {
+			continue // unreachable: install validated the shape
+		}
+	}
+	c.cur.Store(query.MaterializeSnapshot(dest, seq, days, c.cfg.Tagger, nil))
+}

@@ -1,0 +1,94 @@
+// Package shard implements the multi-node honeyfarm: collector shards
+// that serve their mergeable partial-aggregate state over a small HTTP
+// pull API, and a merge coordinator (coordinator.go) that supervises
+// the fleet and folds shard partials into one global snapshot
+// byte-identical to a single-node run over the same records.
+//
+// The wire unit is a partials frame: the WAL frame envelope (length +
+// CRC-32C + kind byte, wal.FrameKindPartials) around a payload of
+//
+//	uint64 seq   — records folded into the bundle (a stream prefix)
+//	uint64 days  — day buckets covered (engine's maxDay+1)
+//	bytes  ...   — the analysis.Partials wire encoding
+//
+// The triple is cut under the shard engine's ingest mutex, so decoding
+// a frame yields exactly the state of the shard's first seq records.
+// Because the partials encoding walks every map in sorted key order,
+// a given accumulator state has one exact byte string — a pull that
+// observes no new records returns bit-identical bytes.
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/query"
+	"honeyfarm/internal/wal"
+	"honeyfarm/internal/wire"
+)
+
+// PartialsPath is the shard pull API's endpoint: a GET returns the
+// shard's current partials frame as an octet stream.
+const PartialsPath = "/shard/v1/partials"
+
+// EncodePartialsFrame cuts the engine's current accumulator state into
+// a self-contained partials frame.
+func EncodePartialsFrame(eng *query.Engine) []byte {
+	body := wire.NewBuilder(64 << 10)
+	seq, days := eng.EncodePartials(body)
+	payload := wire.NewBuilder(16 + body.Len())
+	payload.Uint64(seq)
+	payload.Uint64(uint64(int64(days)))
+	payload.Raw(body.Bytes())
+	return wal.EncodeRawFrame(nil, wal.FrameKindPartials, payload.Bytes())
+}
+
+// DecodePartialsFrame validates one partials frame (envelope CRC, kind
+// byte, exact-length payload) and decodes it back to the bundle plus
+// the (seq, days) cut it covers.
+func DecodePartialsFrame(frame []byte) (seq uint64, days int, parts *analysis.Partials, err error) {
+	payload, _, err := wal.DecodeRawFrame(frame, wal.FrameKindPartials)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	r := wire.NewReader(payload)
+	// Partials payloads scale with the client table, far past the SSH
+	// string cap; the frame CRC already vouches for the bytes.
+	r.SetMaxStringLen(len(payload))
+	seq = r.Uint64()
+	days = int(int64(r.Uint64()))
+	parts, err = analysis.DecodePartials(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if r.Remaining() != 0 {
+		return 0, 0, nil, fmt.Errorf("shard: %d trailing bytes after partials payload", r.Remaining())
+	}
+	if days < 0 {
+		return 0, 0, nil, fmt.Errorf("shard: negative day span %d", days)
+	}
+	return seq, days, parts, nil
+}
+
+// NewHandler returns the shard-side pull API over eng. It is mounted
+// alongside the regular query API on a collector shard, so one listener
+// serves both human-facing JSON and coordinator-facing frames.
+func NewHandler(eng *query.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PartialsPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		frame := EncodePartialsFrame(eng)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+		if _, err := w.Write(frame); err != nil {
+			return // client went away mid-write; nothing to recover
+		}
+	})
+	return mux
+}

@@ -1,0 +1,253 @@
+package shard_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"honeyfarm"
+	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/honeypot"
+	"honeyfarm/internal/malware"
+	"honeyfarm/internal/query"
+	"honeyfarm/internal/shard"
+)
+
+const testPots = 37
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitGoroutines fails the test if the goroutine count does not settle
+// back to the baseline (small slack for runtime helpers).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+var (
+	dataOnce sync.Once
+	dataSets map[int]*honeyfarm.Dataset
+)
+
+// dataset memoizes the generated test datasets per worker count; the
+// dataset is deterministic, so sharing it across tests is safe.
+func dataset(t *testing.T, workers int) *honeyfarm.Dataset {
+	t.Helper()
+	dataOnce.Do(func() { dataSets = map[int]*honeyfarm.Dataset{} })
+	if d, ok := dataSets[workers]; ok {
+		return d
+	}
+	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+		Seed: 11, TotalSessions: 4000, Days: 60, NumPots: testPots, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataSets[workers] = d
+	return d
+}
+
+// partition returns the records shard i of n owns: HoneypotID % n == i,
+// the same rule cmd/shard applies.
+func partition(recs []*honeypot.SessionRecord, n, i int) []*honeypot.SessionRecord {
+	var out []*honeypot.SessionRecord
+	for _, r := range recs {
+		if ((r.HoneypotID%n)+n)%n == i {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func testTagger() analysis.Tagger { return analysis.Tagger(malware.NewTagger(nil)) }
+
+func newEngine(d *honeyfarm.Dataset) *query.Engine {
+	return query.New(query.Config{
+		Epoch: honeyfarm.DefaultEpoch, NumPots: testPots,
+		Registry: d.Registry, Tagger: testTagger(),
+	})
+}
+
+// testShard is one collector shard under test: an engine served over a
+// real TCP listener, killable and restartable at the same address.
+type testShard struct {
+	t      *testing.T
+	engine *query.Engine
+	addr   string
+
+	mu  sync.Mutex
+	srv *http.Server
+}
+
+// startShard binds a fresh shard on an ephemeral port.
+func startShard(t *testing.T, eng *query.Engine) *testShard {
+	t.Helper()
+	s := &testShard{t: t, engine: eng}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.addr = ln.Addr().String()
+	s.serve(ln, shard.NewHandler(eng))
+	return s
+}
+
+func (s *testShard) serve(ln net.Listener, h http.Handler) {
+	srv := &http.Server{Handler: h}
+	s.mu.Lock()
+	s.srv = srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+}
+
+func (s *testShard) url() string { return "http://" + s.addr }
+
+// kill closes the listener and severs every live connection — the
+// in-process equivalent of SIGKILL plus connection resets.
+func (s *testShard) kill() {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// restart rebinds at the same address, serving h (the restarted
+// shard's handler — typically over a fresh engine that replays from
+// scratch, so its sequence climbs from zero again).
+func (s *testShard) restart(h http.Handler) {
+	s.t.Helper()
+	var ln net.Listener
+	var err error
+	// The freed port can take a moment to rebind.
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", s.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		s.t.Fatalf("rebinding %s: %v", s.addr, err)
+	}
+	s.serve(ln, h)
+}
+
+// startCoordinator builds a coordinator over the shard URLs with a
+// fast pull cadence and aggressive probing, suitable for tests.
+func startCoordinator(t *testing.T, urls []string, client *http.Client) *shard.Coordinator {
+	t.Helper()
+	coord, err := shard.New(shard.Config{
+		Shards:    urls,
+		NumPots:   testPots,
+		Countries: true,
+		Epoch:     honeyfarm.DefaultEpoch,
+		Tagger:    testTagger(),
+		PullEvery: 5 * time.Millisecond,
+		FailAfter: 2,
+		Client:    client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestShardedSnapshotEquivalence extends the snapshot-equivalence
+// contract to N nodes: the merged snapshot over N shard partitions is
+// byte-identical (after JSON encoding) to a single-node engine over
+// the full record stream — for N ∈ {1, 2, 4} and either generation
+// worker count.
+func TestShardedSnapshotEquivalence(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, workers := range []int{1, 7} {
+		d := dataset(t, workers)
+		recs := d.Store.Records()
+		single := newEngine(d)
+		single.Ingest(recs)
+		want := mustJSON(t, single.Seal())
+
+		for _, n := range []int{1, 2, 4} {
+			client := &http.Client{Timeout: 5 * time.Second}
+			shards := make([]*testShard, n)
+			urls := make([]string, n)
+			for i := 0; i < n; i++ {
+				eng := newEngine(d)
+				eng.Ingest(partition(recs, n, i))
+				eng.Seal()
+				shards[i] = startShard(t, eng)
+				urls[i] = shards[i].url()
+			}
+			coord := startCoordinator(t, urls, client)
+			waitFor(t, 15*time.Second, func() bool {
+				return coord.Snapshot().Seq == uint64(len(recs))
+			}, "merged snapshot to reach full sequence")
+			if got := mustJSON(t, coord.Snapshot()); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d n=%d: merged snapshot differs from single-node (%d vs %d bytes)",
+					workers, n, len(got), len(want))
+			}
+			if coord.Seq() != uint64(len(recs)) {
+				t.Errorf("workers=%d n=%d: ingested seq %d, want %d", workers, n, coord.Seq(), len(recs))
+			}
+			coord.Stop()
+			for _, s := range shards {
+				s.kill()
+			}
+			client.CloseIdleConnections()
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCoordinatorEmptySnapshot: before any shard contact the merged
+// snapshot is byte-identical to a freshly created engine's — readers
+// of a cold merge node see the same empty tables a cold single node
+// serves.
+func TestCoordinatorEmptySnapshot(t *testing.T) {
+	base := runtime.NumGoroutine()
+	d := dataset(t, 1)
+	coord := startCoordinator(t, []string{"http://127.0.0.1:1"}, &http.Client{Timeout: time.Second})
+	got := mustJSON(t, coord.Snapshot())
+	want := mustJSON(t, newEngine(d).Snapshot())
+	if !bytes.Equal(got, want) {
+		t.Errorf("empty merged snapshot differs from empty engine:\n%s\nvs\n%s", got, want)
+	}
+	coord.Stop()
+	waitGoroutines(t, base)
+}

@@ -17,6 +17,7 @@ package wal
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"sync"
 	"time"
@@ -91,6 +92,51 @@ func DecodeBatchFrame(data []byte) (Batch, int, error) {
 		return Batch{}, 0, errors.New("wal: frame is not a v2 batch")
 	}
 	return batch, int(next), nil
+}
+
+// FrameKindPartials tags a raw frame carrying an encoded partial-
+// aggregate bundle (analysis.Partials wire layout) — the shard pull
+// protocol's transfer unit. The value is deliberately far from the
+// segment-file kinds (meta/batch/gap) so a partials frame accidentally
+// written into a segment is rejected as unknown.
+const FrameKindPartials = 0x70
+
+// EncodeRawFrame wraps an arbitrary payload in the WAL's frame envelope
+// (length prefix + CRC-32C + kind byte), appending to dst and returning
+// the extended slice. It is the generic sibling of EncodeBatchFrame:
+// anything shipped between honeyfarm processes rides in this envelope,
+// so every transport shares one integrity check.
+func EncodeRawFrame(dst []byte, kind byte, body []byte) []byte {
+	start := len(dst)
+	b := wire.NewBuilderFrom(dst)
+	var hdr [frameHeaderSize]byte
+	b.Raw(hdr[:])
+	b.Byte(kind)
+	b.Raw(body)
+	out := b.Bytes()
+	payload := out[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(out[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[start+4:start+8], crc32.Checksum(payload, castagnoli))
+	return out
+}
+
+// DecodeRawFrame validates one frame produced by EncodeRawFrame against
+// the expected kind and returns its body (aliasing data) plus the bytes
+// consumed. A truncated buffer, CRC mismatch, or wrong kind byte is an
+// error — raw frames cross process boundaries, so a bad frame means the
+// transfer is corrupt, not that scanning should stop quietly.
+func DecodeRawFrame(data []byte, kind byte) (body []byte, n int, err error) {
+	payload, next, ok := nextFrame(data, 0)
+	if !ok {
+		return nil, 0, errors.New("wal: truncated or corrupt frame")
+	}
+	if len(payload) == 0 {
+		return nil, 0, errors.New("wal: empty frame payload")
+	}
+	if payload[0] != kind {
+		return nil, 0, fmt.Errorf("wal: frame kind %#x, want %#x", payload[0], kind)
+	}
+	return payload[1:], int(next), nil
 }
 
 // encodeBatchV2 appends a v2 batch body to b: tag, record count, then

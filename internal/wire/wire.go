@@ -172,6 +172,15 @@ func (r *Reader) SetMaxStringLen(n int) {
 // Err returns the first decoding error encountered, or nil.
 func (r *Reader) Err() error { return r.err }
 
+// SetErrf records a decoding error, unless one is already recorded
+// (the first error is sticky, exactly as for field reads). Composite
+// decoders use it to fail the whole read when a structurally valid
+// field carries an invalid value — a bad version byte, an implausible
+// count — so their callers keep the single Err() check.
+func (r *Reader) SetErrf(format string, args ...any) {
+	r.fail(fmt.Errorf(format, args...))
+}
+
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
 

@@ -28,6 +28,20 @@
 #                answer under /debug/pprof/, If-None-Match revalidation
 #                must return 304, and SIGTERM must drain cleanly with
 #                zero leaked goroutines
+#   merge smoke  a 3-shard farm (cmd/shard, built with -race) feeds
+#                under a merge coordinator (cmd/merge); one shard is
+#                SIGKILLed mid-run — /v1/healthz must degrade to
+#                "degraded:shard" while the merge keeps serving — then
+#                restarted on the same address/WAL; after re-convergence
+#                every /v1 endpoint must compare byte-identical against
+#                a single-node run over the same dataset, healthz must
+#                return to "ok", and every process must drain leak-free
+#   real ENOSPC  (Linux, needs mount privileges; skipped otherwise) the
+#                WAL degraded-mode test re-run against an actually full
+#                filesystem: a size-capped tmpfs is filled with ballast
+#                and TestRealENOSPC drives appends into the real kernel
+#                ENOSPC, checking the same degrade/recover/gap-frame
+#                contract the injected-fault suite pins
 #   bench smoke  every benchmark runs once (-benchtime=1x), so a broken
 #                benchmark cannot sit undetected until a baseline run
 #   bench gate   BenchmarkWALAppendRecover/append is re-run (best of
@@ -41,7 +55,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+trap 'umount "$tmp/enospc" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
@@ -74,9 +88,9 @@ cmp "$tmp/lint-cold.json" "$tmp/lint-warm.json"
 echo "==> go test -race ./..."
 go test -race ./...
 
-chaos_run='TestChaos|TestStop|TestKill|TestOutage|TestFault|TestConnFault|TestBackoff|TestDropsSession|TestPotDown'
+chaos_run='TestChaos|TestStop|TestKill|TestOutage|TestFault|TestConnFault|TestBackoff|TestDropsSession|TestPotDown|TestCoordinator|TestRestarter'
 echo "==> chaos smoke (go test -race -count=1 -run '$chaos_run')"
-go test -race -count=1 -run "$chaos_run" ./internal/farm ./internal/netsim ./internal/faults
+go test -race -count=1 -run "$chaos_run" ./internal/farm ./internal/netsim ./internal/faults ./internal/shard
 
 disk_run='TestCrashAtEverySyscall|TestFsyncFaultSchedule|TestCommitterFsyncErrorSticky|TestCloseDrainsInflightSync|TestENOSPCWindowRecovers|TestENOSPCWindowFarm'
 echo "==> disk chaos smoke (go test -race -count=1 -run '$disk_run')"
@@ -184,6 +198,181 @@ if ! grep -q "drained cleanly" "$tmp/serve.log"; then
     echo "serve smoke: no clean-drain confirmation" >&2
     cat "$tmp/serve.log" >&2
     exit 1
+fi
+
+echo "==> merge smoke (3 shards, SIGKILL+restart, byte-identical merge)"
+go build -race -o "$tmp/shard" ./cmd/shard
+go build -race -o "$tmp/merge" ./cmd/merge
+shard_args="-sessions 20000 -seed 5 -pots 97 -workers 2 -batch 100 -pace 40ms"
+
+# poll_file <path> <what>: wait for a process to write its address file.
+poll_file() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 150 ]; then
+            echo "merge smoke: $2 never wrote $1" >&2
+            cat "$tmp"/*.log >&2 || true
+            exit 1
+        fi
+        sleep 0.1 2>/dev/null || sleep 1
+    done
+}
+
+# Single-node reference: one shard owning every pot is by construction
+# the merge target the sharded run must reproduce byte-for-byte.
+"$tmp/shard" $shard_args -shards 1 -index 0 -pace 1ms \
+    -wal-dir "$tmp/ref-wal" -addr 127.0.0.1:0 -addr-file "$tmp/ref-addr" \
+    >"$tmp/ref.log" 2>&1 &
+ref_pid=$!
+poll_file "$tmp/ref-addr" "reference shard"
+ref_addr=$(cat "$tmp/ref-addr")
+i=0
+until grep -q "feed complete" "$tmp/ref.log"; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "merge smoke: reference shard never finished feeding" >&2
+        cat "$tmp/ref.log" >&2
+        exit 1
+    fi
+    sleep 0.1 2>/dev/null || sleep 1
+done
+for ep in summary pots clients countries availability; do
+    curl -fsS "http://$ref_addr/v1/$ep" >"$tmp/ref-$ep.json"
+done
+
+# The 3-shard fleet, fed slowly enough that the kill lands mid-feed.
+for i in 0 1 2; do
+    "$tmp/shard" $shard_args -shards 3 -index "$i" \
+        -wal-dir "$tmp/s$i-wal" -addr 127.0.0.1:0 -addr-file "$tmp/s$i-addr" \
+        >"$tmp/s$i.log" 2>&1 &
+    eval "s${i}_pid=\$!"
+    poll_file "$tmp/s$i-addr" "shard $i"
+done
+"$tmp/merge" -shards "http://$(cat "$tmp/s0-addr"),http://$(cat "$tmp/s1-addr"),http://$(cat "$tmp/s2-addr")" \
+    -pots 97 -pull-every 50ms -fail-after 2 \
+    -addr 127.0.0.1:0 -addr-file "$tmp/merge-addr" \
+    >"$tmp/merge.log" 2>&1 &
+merge_pid=$!
+poll_file "$tmp/merge-addr" "merge"
+merge_addr=$(cat "$tmp/merge-addr")
+
+# Let the merge make real progress, then SIGKILL shard 1 mid-feed.
+i=0
+while :; do
+    seq=$(curl -s "http://$merge_addr/v1/healthz" | grep -o '"snapshot_seq":[0-9]*' | cut -d: -f2)
+    if [ "${seq:-0}" -ge 1000 ]; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "merge smoke: merge never reached seq 1000 (at ${seq:-?})" >&2
+        cat "$tmp/merge.log" >&2
+        exit 1
+    fi
+    sleep 0.1 2>/dev/null || sleep 1
+done
+kill -9 "$s1_pid" 2>/dev/null || true
+wait "$s1_pid" 2>/dev/null || true
+
+# The coordinator must mark the shard down and healthz must degrade —
+# while the merged snapshot keeps serving (summary stays 200).
+i=0
+until curl -s "http://$merge_addr/v1/healthz" | grep -q '"status":"degraded:shard"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "merge smoke: healthz never degraded after shard kill" >&2
+        curl -s "http://$merge_addr/v1/healthz" >&2 || true
+        exit 1
+    fi
+    sleep 0.1 2>/dev/null || sleep 1
+done
+curl -fsS "http://$merge_addr/v1/summary" >/dev/null
+
+# Restart the killed shard on its recorded address: the WAL recovers,
+# feeding resumes from the first unpersisted record, and the
+# coordinator's monotonic install rule rides out the catch-up.
+s1_addr=$(cat "$tmp/s1-addr")
+"$tmp/shard" $shard_args -shards 3 -index 1 \
+    -wal-dir "$tmp/s1-wal" -addr "$s1_addr" \
+    >"$tmp/s1-restart.log" 2>&1 &
+s1_pid=$!
+
+# Re-convergence: healthz back to ok and /v1/summary byte-identical to
+# the single-node reference.
+i=0
+while :; do
+    if curl -s "http://$merge_addr/v1/healthz" | grep -q '"status":"ok"' &&
+        curl -fsS "http://$merge_addr/v1/summary" >"$tmp/merge-summary.json" &&
+        cmp -s "$tmp/ref-summary.json" "$tmp/merge-summary.json"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "merge smoke: merge never re-converged to the reference" >&2
+        curl -s "http://$merge_addr/v1/healthz" >&2 || true
+        cat "$tmp/merge.log" >&2
+        exit 1
+    fi
+    sleep 0.1 2>/dev/null || sleep 1
+done
+for ep in summary pots clients countries availability; do
+    curl -fsS "http://$merge_addr/v1/$ep" >"$tmp/merge-$ep.json"
+    cmp "$tmp/ref-$ep.json" "$tmp/merge-$ep.json"
+done
+
+# Drain everything; each process verifies its own goroutine baseline
+# and only prints the clean-drain line after a leak-free exit.
+for pid in $merge_pid $s0_pid $s1_pid $s2_pid $ref_pid; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+merge_status=0
+wait "$merge_pid" || merge_status=$?
+if [ "$merge_status" -ne 0 ]; then
+    echo "merge smoke: merge exited $merge_status" >&2
+    cat "$tmp/merge.log" >&2
+    exit 1
+fi
+wait "$s0_pid" "$s1_pid" "$s2_pid" "$ref_pid" || true
+if ! grep -q "drained cleanly" "$tmp/merge.log"; then
+    echo "merge smoke: merge printed no clean-drain confirmation" >&2
+    cat "$tmp/merge.log" >&2
+    exit 1
+fi
+for f in "$tmp/s0.log" "$tmp/s1-restart.log" "$tmp/s2.log" "$tmp/ref.log"; do
+    if ! grep -q "drained cleanly" "$f"; then
+        echo "merge smoke: $f shows no clean drain" >&2
+        cat "$f" >&2
+        exit 1
+    fi
+done
+# The killed shard's first incarnation must NOT have drained cleanly —
+# proof the SIGKILL landed mid-run and the restart actually recovered.
+if grep -q "drained cleanly" "$tmp/s1.log"; then
+    echo "merge smoke: shard 1 drained before the kill; nothing was tested" >&2
+    exit 1
+fi
+fsck_out=$("$tmp/fsck" "$tmp/s0-wal" "$tmp/s1-wal" "$tmp/s2-wal" "$tmp/ref-wal")
+printf '%s\n' "$fsck_out" | grep -q "summary: 4 path(s)" || {
+    echo "merge smoke: fsck printed no fleet summary table" >&2
+    printf '%s\n' "$fsck_out" >&2
+    exit 1
+}
+
+echo "==> real-ENOSPC gate (WAL degraded mode on a size-capped tmpfs)"
+if [ "$(uname -s)" = "Linux" ] &&
+    mkdir -p "$tmp/enospc" &&
+    mount -t tmpfs -o size=2m tmpfs "$tmp/enospc" 2>/dev/null; then
+    enospc_status=0
+    HONEYFARM_ENOSPC_DIR="$tmp/enospc" \
+        go test -race -count=1 -run TestRealENOSPC ./internal/wal || enospc_status=$?
+    umount "$tmp/enospc"
+    if [ "$enospc_status" -ne 0 ]; then
+        echo "real-ENOSPC gate failed" >&2
+        exit 1
+    fi
+else
+    echo "    tmpfs mount unavailable (needs Linux + privileges); skipping"
 fi
 
 echo "==> benchmark smoke (go test -bench=. -benchtime=1x)"
