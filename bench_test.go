@@ -14,16 +14,22 @@ package honeyfarm
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"honeyfarm/internal/analysis"
 	"honeyfarm/internal/farm"
 	"honeyfarm/internal/geo"
 	"honeyfarm/internal/lint"
+	"honeyfarm/internal/loadgen"
+	"honeyfarm/internal/netsim"
 	"honeyfarm/internal/query"
 	"honeyfarm/internal/replay"
 	"honeyfarm/internal/report"
@@ -720,4 +726,81 @@ func BenchmarkLintRepo(b *testing.B) {
 		}
 		b.ReportMetric(float64(pkgs)/b.Elapsed().Seconds(), "pkgs/s")
 	})
+}
+
+// BenchmarkLoadgenWirePath measures the open-loop harness end to end:
+// cmd/loadgen's driver replaying a seeded session mix (real SSH/Telnet
+// handshakes through internal/sshwire and internal/telnet) against a
+// supervised netsim farm — the same path `loadgen -self-pots` drives.
+// Sleep is a no-op so the schedule collapses to back-to-back arrivals:
+// the number is the wire path's sustainable session rate at the
+// driver's concurrency bound, not the offered rate.
+func BenchmarkLoadgenWirePath(b *testing.B) {
+	const numPots = 8
+	f, err := farm.New(farm.Config{
+		Seed: 3, NumPots: numPots, NumASes: numPots,
+		Countries: geo.HoneyfarmCountries[:numPots], Registry: NewRegistry(3),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer f.Stop()
+
+	targets := make([]loadgen.Target, numPots)
+	for i := 0; i < numPots; i++ {
+		ssh, tel := f.SSHAddr(i), f.TelnetAddr(i)
+		targets[i] = loadgen.Target{
+			Pot:        i,
+			SSHAddr:    net.JoinHostPort(ssh.IP, strconv.Itoa(ssh.Port)),
+			TelnetAddr: net.JoinHostPort(tel.IP, strconv.Itoa(tel.Port)),
+		}
+	}
+	var srcSeq atomic.Uint64
+	dial := func(t loadgen.Target, ssh bool) (net.Conn, error) {
+		addr := t.SSHAddr
+		if !ssh {
+			addr = t.TelnetAddr
+		}
+		host, portStr, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, err
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			return nil, err
+		}
+		src := fmt.Sprintf("198.51.100.%d", srcSeq.Add(1)%254+1)
+		return f.Fabric().Dial(src, netsim.Addr{IP: host, Port: port})
+	}
+
+	plan, err := loadgen.BuildPlan(loadgen.PlanConfig{
+		Seed: 3, Rate: 200, Duration: time.Second, Targets: targets,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	completed := 0
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(loadgen.Config{
+			Plan:        plan,
+			Dial:        dial,
+			Concurrency: 32,
+			Now:         time.Now,
+			Sleep:       func(time.Duration) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Errors) > 0 {
+			b.Fatalf("wire path errors: %v", res.Errors)
+		}
+		completed += res.Completed
+	}
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "sessions/s")
 }

@@ -100,7 +100,10 @@ func main() {
 	}
 	log.Printf("merge: listening on %s over %d shard(s)", ln.Addr(), len(urls))
 
-	srv := &http.Server{Handler: api.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", shard.BuildMergeRegistry(coord, api, *pots, time.Now).Handler())
+	mux.Handle("/", api.Handler())
+	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

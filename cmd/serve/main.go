@@ -105,17 +105,18 @@ func main() {
 	}
 	log.Printf("serve: listening on %s, tailing %s", ln.Addr(), *walDir)
 
-	handler := api.Handler()
+	reg := query.BuildServeRegistry(engine, follower, api, *pots)
+	outer := http.NewServeMux()
+	outer.Handle("/metrics", reg.Handler())
+	outer.Handle("/", api.Handler())
 	if *pprofFlag {
 		// The pprof mux registers itself on http.DefaultServeMux at
 		// import time; mount it beside the API so a live process can be
 		// profiled without a second listener. Off by default: the API is
 		// cacheable public data, a heap profile is not.
-		outer := http.NewServeMux()
 		outer.Handle("/debug/pprof/", http.DefaultServeMux)
-		outer.Handle("/", handler)
-		handler = outer
 	}
+	handler := http.Handler(outer)
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -58,6 +58,8 @@ func main() {
 	pace := flag.Duration("pace", 20*time.Millisecond, "delay between feed batches (simulated collection rate)")
 	snapshotEvery := flag.Int("snapshot-every", 2000, "auto-seal a snapshot every N ingested records")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	wire := flag.Bool("wire", false, "serve real SSH/Telnet listeners for the owned pots instead of feeding the synthetic dataset")
+	wireAddrFile := flag.String("wire-addr-file", "", "with -wire: write the pot address table here (lines: <pot> <ssh-addr> <telnet-addr>)")
 	flag.Parse()
 
 	if *walDir == "" || *shards < 1 || *index < 0 || *index >= *shards {
@@ -74,17 +76,22 @@ func main() {
 
 	// The whole fleet generates the same dataset from the same seed;
 	// each shard keeps only its partition, so the union over the fleet
-	// is exactly the single-node record set.
-	d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
-		Seed: *seed, TotalSessions: *sessions, NumPots: *pots, Workers: *workers,
-	})
-	if err != nil {
-		log.Fatalf("shard: simulate: %v", err)
-	}
+	// is exactly the single-node record set. A -wire shard skips the
+	// synthetic dataset entirely: its records arrive over real sockets.
 	var part []*honeypot.SessionRecord
-	for _, r := range d.Store.Records() {
-		if r.HoneypotID%*shards == *index {
-			part = append(part, r)
+	registry := honeyfarm.NewRegistry(*seed)
+	if !*wire {
+		d, err := honeyfarm.Simulate(honeyfarm.SimulateConfig{
+			Seed: *seed, TotalSessions: *sessions, NumPots: *pots, Workers: *workers,
+		})
+		if err != nil {
+			log.Fatalf("shard: simulate: %v", err)
+		}
+		registry = d.Registry
+		for _, r := range d.Store.Records() {
+			if r.HoneypotID%*shards == *index {
+				part = append(part, r)
+			}
 		}
 	}
 
@@ -95,7 +102,7 @@ func main() {
 	engine := query.New(query.Config{
 		Epoch:         honeyfarm.DefaultEpoch,
 		NumPots:       *pots,
-		Registry:      d.Registry,
+		Registry:      registry,
 		Tagger:        analysis.Tagger(malware.NewTagger(nil)),
 		SnapshotEvery: *snapshotEvery,
 	})
@@ -103,16 +110,34 @@ func main() {
 		engine.Ingest(b.Records)
 	}
 	recovered := recovery.Records()
-	if recovered > len(part) {
+	if !*wire && recovered > len(part) {
 		log.Fatalf("shard: WAL holds %d records but partition has %d; -shards/-index/-seed mismatch", recovered, len(part))
 	}
 	engine.Seal()
 	log.Printf("shard %d/%d: partition %d records, recovered %d, feeding %d",
 		*index, *shards, len(part), recovered, len(part)-recovered)
 
+	var front *shard.WireFront
+	if *wire {
+		front, err = shard.NewWireFront(shard.WireConfig{
+			Shards: *shards, Index: *index, NumPots: *pots,
+			Engine: engine, WAL: wlog,
+		})
+		if err != nil {
+			log.Fatalf("shard: wire front: %v", err)
+		}
+		if *wireAddrFile != "" {
+			if err := front.WriteAddrFile(*wireAddrFile); err != nil {
+				log.Fatalf("shard: writing -wire-addr-file: %v", err)
+			}
+		}
+		log.Printf("shard %d: wire front up for %d pots", *index, len(front.Pots()))
+	}
+
 	api := query.NewServer(query.ServerConfig{Source: engine, WALHealth: wlog.Health})
 	mux := http.NewServeMux()
 	mux.Handle("/shard/", shard.NewHandler(engine))
+	mux.Handle("/metrics", shard.BuildCollectorRegistry(engine, wlog.Health, front, api, *pots).Handler())
 	mux.Handle("/", api.Handler())
 
 	ln, err := net.Listen("tcp", *addr)
@@ -136,31 +161,36 @@ func main() {
 	// engine — so the engine's sequence never runs ahead of what a
 	// restart can recover. A degraded WAL (disk full) retries the same
 	// batch until the writer heals rather than ingesting records a
-	// crash would lose.
+	// crash would lose. A -wire shard has no feeder: its wire front
+	// performs the same append-then-ingest per accepted session.
 	stopFeed := make(chan struct{})
 	feedDone := make(chan struct{})
-	go func() {
-		defer close(feedDone)
-		for off := recovered; off < len(part); {
-			select {
-			case <-stopFeed:
-				return
-			case <-time.After(*pace):
+	if *wire {
+		close(feedDone)
+	} else {
+		go func() {
+			defer close(feedDone)
+			for off := recovered; off < len(part); {
+				select {
+				case <-stopFeed:
+					return
+				case <-time.After(*pace):
+				}
+				end := off + *batch
+				if end > len(part) {
+					end = len(part)
+				}
+				if err := wlog.Append(part[off:end]); err != nil {
+					log.Printf("shard %d: wal append: %v (retrying)", *index, err)
+					continue
+				}
+				engine.Ingest(part[off:end])
+				off = end
 			}
-			end := off + *batch
-			if end > len(part) {
-				end = len(part)
-			}
-			if err := wlog.Append(part[off:end]); err != nil {
-				log.Printf("shard %d: wal append: %v (retrying)", *index, err)
-				continue
-			}
-			engine.Ingest(part[off:end])
-			off = end
-		}
-		engine.Seal()
-		log.Printf("shard %d: feed complete at seq %d", *index, engine.Seq())
-	}()
+			engine.Seal()
+			log.Printf("shard %d: feed complete at seq %d", *index, engine.Seq())
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -171,6 +201,14 @@ func main() {
 
 	close(stopFeed)
 	<-feedDone
+	if front != nil {
+		// Stop accepting wire sessions (force-draining stragglers), then
+		// seal so the final snapshot covers everything accepted.
+		if err := front.Close(); err != nil {
+			log.Printf("shard %d: wire front close: %v", *index, err)
+		}
+		engine.Seal()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -95,6 +95,10 @@ type Stats struct {
 	// count-and-drop losses, distinct from DroppedRecords (which never
 	// reached the collector at all).
 	DurableLost int
+	// Accepted counts session records handed to the collector (the
+	// complement of DroppedRecords; durable losses are counted after
+	// acceptance).
+	Accepted int
 }
 
 // potState is the supervisor's view of one honeypot.
@@ -122,6 +126,8 @@ type Farm struct {
 	// droppedByPot splits Stats.DroppedRecords per honeypot, feeding the
 	// availability table's sink_drops column.
 	droppedByPot []int
+	// acceptedByPot splits Stats.Accepted per honeypot for /metrics.
+	acceptedByPot []int
 
 	connMu sync.Mutex
 	conns  map[net.Conn]int // live connection -> pot index
@@ -176,14 +182,15 @@ func New(cfg Config) (*Farm, error) {
 		return nil, fmt.Errorf("farm: placement: %w", err)
 	}
 	f := &Farm{
-		cfg:          cfg,
-		fabric:       netsim.NewFabric(cfg.Latency),
-		deployments:  deployments,
-		collector:    store.New(cfg.Epoch),
-		states:       make([]potState, len(deployments)),
-		droppedByPot: make([]int, len(deployments)),
-		conns:        make(map[net.Conn]int),
-		stopCh:       make(chan struct{}),
+		cfg:           cfg,
+		fabric:        netsim.NewFabric(cfg.Latency),
+		deployments:   deployments,
+		collector:     store.New(cfg.Epoch),
+		states:        make([]potState, len(deployments)),
+		droppedByPot:  make([]int, len(deployments)),
+		acceptedByPot: make([]int, len(deployments)),
+		conns:         make(map[net.Conn]int),
+		stopCh:        make(chan struct{}),
 	}
 	if cfg.Durable != nil {
 		f.collector.SetDurable(cfg.Durable)
@@ -221,6 +228,9 @@ func (f *Farm) sinkFor(i int) func(*honeypot.SessionRecord) {
 		if drop {
 			f.stats.DroppedRecords++
 			f.droppedByPot[i]++
+		} else {
+			f.stats.Accepted++
+			f.acceptedByPot[i]++
 		}
 		f.mu.Unlock()
 		if !drop {

@@ -1,0 +1,115 @@
+package farm_test
+
+// Golden over the supervisor metric surface. A farm that has not been
+// started has every counter at zero and every pot down, so the golden
+// pins names, help strings, and label sets with fully deterministic
+// values; the increment test then checks the gauges and counters track
+// a live farm.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"honeyfarm/internal/farm"
+	"honeyfarm/internal/geo"
+	"honeyfarm/internal/metrics"
+	"honeyfarm/internal/sshwire"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the metrics golden files")
+
+func newTestFarm(t *testing.T) *farm.Farm {
+	t.Helper()
+	f, err := farm.New(farm.Config{
+		Seed:     9,
+		NumPots:  3,
+		Registry: geo.NewRegistry(geo.Config{Seed: 9}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFarmMetricsGolden(t *testing.T) {
+	f := newTestFarm(t)
+	reg := metrics.NewRegistry()
+	farm.RegisterFarmMetrics(reg, f)
+	got := reg.Render()
+
+	golden := filepath.Join("testdata", "farm_metrics.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/farm -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("exposition changed\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFarmMetricsTrackSessions(t *testing.T) {
+	f := newTestFarm(t)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	reg := metrics.NewRegistry()
+	farm.RegisterFarmMetrics(reg, f)
+
+	conn, err := f.Fabric().Dial("198.51.100.7", f.SSHAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := sshwire.NewClientConn(conn, &sshwire.ClientConfig{User: "root", Password: "farm-metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cc.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sshwire.RequestShell(sess); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cc.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().Accepted < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("farm never counted the session: %+v", f.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	out := string(reg.Render())
+	for _, want := range []string{
+		"honeyfarm_farm_sessions_accepted_total 1\n",
+		`honeyfarm_farm_pot_sessions_total{pot="1"} 1` + "\n",
+		`honeyfarm_farm_pot_up{pot="0"} 1` + "\n",
+		`honeyfarm_farm_pot_up{pot="1"} 1` + "\n",
+		`honeyfarm_farm_pot_up{pot="2"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if f.AcceptedByPot(1) != 1 {
+		t.Errorf("AcceptedByPot(1) = %d, want 1", f.AcceptedByPot(1))
+	}
+}

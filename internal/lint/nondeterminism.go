@@ -15,11 +15,14 @@ import (
 // connections and legitimately reads the clock.
 var DeterministicPkgSuffixes = []string{
 	"honeyfarm", // module root: Simulate and the artifact pipeline
+	"cmd/loadgen",
 	"internal/analysis",
 	"internal/faults",
 	"internal/geo",
 	"internal/iofault",
+	"internal/loadgen",
 	"internal/malware",
+	"internal/metrics",
 	"internal/query",
 	"internal/report",
 	"internal/scenario",

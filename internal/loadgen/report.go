@@ -1,0 +1,122 @@
+package loadgen
+
+// Report rendering: the run's JSON summary and the plan-only summary.
+// Plan-only output is fully deterministic (the check.sh gate compares
+// two same-seed emissions byte for byte); the live report embeds the
+// same plan digest so any two runs can be proven to have offered
+// identical load even though their measured latencies differ.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+
+	"honeyfarm/internal/analysis"
+)
+
+// Report is the harness's JSON output for a live run.
+type Report struct {
+	Seed            int64   `json:"seed"`
+	PlanSHA256      string  `json:"plan_sha256"`
+	OfferedRate     float64 `json:"offered_rate"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Planned         int     `json:"planned_sessions"`
+	Started         int     `json:"started_sessions"`
+	Completed       int     `json:"completed_sessions"`
+	// AchievedRate is completed sessions over the measured wall time
+	// (first scheduled instant to last completion).
+	AchievedRate   float64            `json:"achieved_rate"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Errors         map[string]int     `json:"errors"`
+	LatencySeconds map[string]float64 `json:"latency_seconds"`
+	// SlipSeconds quantifies open-loop lateness: how far past its
+	// scheduled instant each session actually started.
+	SlipSeconds    map[string]float64 `json:"slip_seconds"`
+	MaxSlipSeconds float64            `json:"max_slip_seconds"`
+}
+
+// BuildReport summarizes a run result.
+func BuildReport(res *Result) *Report {
+	r := &Report{
+		Seed:            res.Plan.Seed,
+		PlanSHA256:      res.Plan.Digest(),
+		OfferedRate:     res.Plan.Rate,
+		DurationSeconds: res.Plan.Duration.Seconds(),
+		Planned:         len(res.Plan.Arrivals),
+		Started:         res.Started,
+		Completed:       res.Completed,
+		ElapsedSeconds:  res.Elapsed.Seconds(),
+		Errors:          res.Errors,
+		LatencySeconds:  quantiles(res.latencies),
+		SlipSeconds:     quantiles(res.slips),
+	}
+	if res.Elapsed > 0 {
+		r.AchievedRate = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	if res.slips.Len() > 0 {
+		r.MaxSlipSeconds = res.slips.Quantile(1)
+	}
+	return r
+}
+
+// PlanSummary is the deterministic plan-only output: everything about
+// the offered load, nothing about a live run.
+type PlanSummary struct {
+	Seed            int64          `json:"seed"`
+	PlanSHA256      string         `json:"plan_sha256"`
+	OfferedRate     float64        `json:"offered_rate"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Sessions        int            `json:"sessions"`
+	ByCategory      map[string]int `json:"by_category"`
+	ByProtocol      map[string]int `json:"by_protocol"`
+	ByPot           map[string]int `json:"by_pot"`
+	FirstAtSeconds  float64        `json:"first_at_seconds"`
+	LastAtSeconds   float64        `json:"last_at_seconds"`
+}
+
+// Summarize reduces a plan to its deterministic summary.
+func Summarize(p *Plan) *PlanSummary {
+	s := &PlanSummary{
+		Seed:            p.Seed,
+		PlanSHA256:      p.Digest(),
+		OfferedRate:     p.Rate,
+		DurationSeconds: p.Duration.Seconds(),
+		Sessions:        len(p.Arrivals),
+		ByCategory:      map[string]int{},
+		ByProtocol:      map[string]int{"ssh": 0, "telnet": 0},
+		ByPot:           map[string]int{},
+	}
+	for c := analysis.Category(0); c < analysis.NumCategories; c++ {
+		s.ByCategory[c.String()] = 0
+	}
+	for i, a := range p.Arrivals {
+		s.ByCategory[a.Script.Category.String()]++
+		if a.Script.SSH {
+			s.ByProtocol["ssh"]++
+		} else {
+			s.ByProtocol["telnet"]++
+		}
+		s.ByPot[strconv.Itoa(p.Targets[a.Target].Pot)]++
+		at := a.At.Seconds()
+		if i == 0 {
+			s.FirstAtSeconds = at
+		}
+		if at > s.LastAtSeconds {
+			s.LastAtSeconds = at
+		}
+	}
+	return s
+}
+
+// MarshalIndent renders any report shape as stable, human-diffable
+// JSON (sorted keys — encoding/json sorts map keys — trailing
+// newline).
+func MarshalIndent(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

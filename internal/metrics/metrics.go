@@ -1,0 +1,393 @@
+// Package metrics is a stdlib-only Prometheus text-format registry:
+// the operational metrics plane for every long-running honeyfarm
+// process (cmd/serve, cmd/shard, cmd/merge, the farm supervisor and
+// cmd/loadgen's embedded farm).
+//
+// Three things distinguish it from the usual client library:
+//
+//   - Deterministic output. Families render sorted by name, children
+//     sorted by label signature, label keys sorted within a signature,
+//     and no timestamps — two registries fed identical events render
+//     byte-identical text, so /metrics is golden-testable like every
+//     other endpoint in this repo.
+//   - Allocation-light hot path. Counter.Inc/Add is one atomic add,
+//     Gauge.Set one atomic store; nothing on the observe path
+//     allocates or takes the registry lock. Rendering reuses one
+//     buffer under the registry mutex.
+//   - Fixed log-spaced histogram buckets shared with stats.Histogram
+//     (stats.LogBuckets), so wire-side histograms and analysis-side
+//     histograms agree on bucket layout and merge cleanly.
+//
+// Registration happens once at process start; duplicate registration
+// is a programming error and panics, matching the fail-fast contract
+// of flag.Var and http.ServeMux.Handle.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"honeyfarm/internal/stats"
+)
+
+// Labels is one metric child's label set. Keys render sorted, so any
+// map order produces the same signature.
+type Labels map[string]string
+
+// signature renders labels canonically: `{k1="v1",k2="v2"}` with keys
+// sorted, or "" for an empty set. Values are escaped per the
+// exposition format (backslash, double-quote, newline).
+func (l Labels) signature() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// kind is a family's exposition type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; Registry.Counter returns one already registered, and a
+// standalone zero Counter can be exported later via CounterFunc.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	//lint:ignore bounded-loop CAS retry loop; terminates as soon as no concurrent Add interleaves
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket observation metric: a mutex-guarded
+// stats.Histogram rendered in the Prometheus cumulative-bucket form.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.mu.Unlock()
+}
+
+// Snapshot returns a merged copy of the histogram state.
+func (h *Histogram) Snapshot() *stats.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, err := stats.NewHistogram(h.h.Bounds())
+	if err != nil {
+		panic("metrics: histogram bounds invalidated: " + err.Error())
+	}
+	if err := c.Merge(h.h); err != nil {
+		panic("metrics: histogram self-merge failed: " + err.Error())
+	}
+	return c
+}
+
+// child is one (family, labels) series.
+type child struct {
+	sig    string // canonical label signature, "" for none
+	ctr    *Counter
+	gau    *Gauge
+	fn     func() float64 // CounterFunc / GaugeFunc value source
+	hist   *Histogram
+	histFn func() *stats.Histogram // HistogramFunc snapshot source
+}
+
+// family is one named metric with its help text, type, and children.
+type family struct {
+	name     string
+	help     string
+	kind     kind
+	children []*child // sorted by sig
+}
+
+func (f *family) add(c *child) {
+	i := sort.Search(len(f.children), func(i int) bool { return f.children[i].sig >= c.sig })
+	if i < len(f.children) && f.children[i].sig == c.sig {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s%s", f.name, c.sig))
+	}
+	f.children = append(f.children, nil)
+	copy(f.children[i+1:], f.children[i:])
+	f.children[i] = c
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // sorted by name
+	buf      []byte    // render buffer, reused across scrapes
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// familyLocked finds or creates the named family, enforcing one kind
+// and one help string per name.
+func (r *Registry) familyLocked(name, help string, k kind) *family {
+	i := sort.Search(len(r.families), func(i int) bool { return r.families[i].name >= name })
+	if i < len(r.families) && r.families[i].name == name {
+		f := r.families[i]
+		if f.kind != k {
+			panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, k))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k}
+	r.families = append(r.families, nil)
+	copy(r.families[i+1:], r.families[i:])
+	r.families[i] = f
+	return f
+}
+
+// Counter registers and returns a counter. labels may be nil.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	r.familyLocked(name, help, kindCounter).add(&child{sig: labels.signature(), ctr: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at each
+// render. fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyLocked(name, help, kindCounter).add(&child{sig: labels.signature(), fn: fn})
+}
+
+// Gauge registers and returns a gauge. labels may be nil.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{}
+	r.familyLocked(name, help, kindGauge).add(&child{sig: labels.signature(), gau: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at each
+// render. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyLocked(name, help, kindGauge).add(&child{sig: labels.signature(), fn: fn})
+}
+
+// Histogram registers and returns a histogram over the given bucket
+// bounds (strictly ascending upper bounds, typically
+// stats.LogBuckets). labels may be nil; the "le" label is reserved.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if _, reserved := labels["le"]; reserved {
+		panic("metrics: label \"le\" is reserved for histogram buckets")
+	}
+	sh, err := stats.NewHistogram(bounds)
+	if err != nil {
+		panic("metrics: " + err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := &Histogram{h: sh}
+	r.familyLocked(name, help, kindHistogram).add(&child{sig: labels.signature(), hist: h})
+	return h
+}
+
+// HistogramFunc registers a histogram whose state is snapshotted from
+// fn at each render — for subsystems that own their own
+// stats.Histogram (e.g. the merge coordinator's pull latency). fn must
+// be safe for concurrent use and return a consistent copy.
+func (r *Registry) HistogramFunc(name, help string, labels Labels, fn func() *stats.Histogram) {
+	if _, reserved := labels["le"]; reserved {
+		panic("metrics: label \"le\" is reserved for histogram buckets")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyLocked(name, help, kindHistogram).add(&child{sig: labels.signature(), histFn: fn})
+}
+
+// appendValue renders a float the way Prometheus does: integral values
+// without an exponent, everything else in shortest-round-trip form.
+func appendValue(b []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendFloat(b, v, 'f', -1, 64)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendSeries renders one `name{labels} value` line. sig already
+// carries the braces (or is empty).
+func appendSeries(b []byte, name, sig string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, sig...)
+	b = append(b, ' ')
+	b = appendValue(b, v)
+	return append(b, '\n')
+}
+
+// bucketSig splices `le="bound"` into an existing signature.
+func bucketSig(sig, le string) string {
+	if sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return sig[:len(sig)-1] + `,le="` + le + `"}`
+}
+
+// renderLocked renders every family into r.buf.
+func (r *Registry) renderLocked() {
+	b := r.buf[:0]
+	for _, f := range r.families {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.kind.String()...)
+		b = append(b, '\n')
+		for _, c := range f.children {
+			switch {
+			case c.ctr != nil:
+				b = append(b, f.name...)
+				b = append(b, c.sig...)
+				b = append(b, ' ')
+				b = strconv.AppendUint(b, c.ctr.Value(), 10)
+				b = append(b, '\n')
+			case c.gau != nil:
+				b = appendSeries(b, f.name, c.sig, c.gau.Value())
+			case c.fn != nil:
+				b = appendSeries(b, f.name, c.sig, c.fn())
+			case c.hist != nil, c.histFn != nil:
+				var h *stats.Histogram
+				if c.hist != nil {
+					h = c.hist.Snapshot()
+				} else {
+					h = c.histFn()
+				}
+				bounds, counts := h.Bounds(), h.Counts()
+				var cum uint64
+				for i, bound := range bounds {
+					cum += counts[i]
+					le := string(appendValue(nil, bound))
+					b = appendSeries(b, f.name+"_bucket", bucketSig(c.sig, le), float64(cum))
+				}
+				cum += counts[len(counts)-1]
+				b = appendSeries(b, f.name+"_bucket", bucketSig(c.sig, "+Inf"), float64(cum))
+				b = appendSeries(b, f.name+"_sum", c.sig, h.Sum())
+				b = appendSeries(b, f.name+"_count", c.sig, float64(h.Count()))
+			}
+		}
+	}
+	r.buf = b
+}
+
+// Render returns the full exposition text. The returned slice is
+// owned by the caller.
+func (r *Registry) Render() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.renderLocked()
+	return append([]byte(nil), r.buf...)
+}
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		r.mu.Lock()
+		r.renderLocked()
+		body := append([]byte(nil), r.buf...)
+		r.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		if req.Method == http.MethodHead {
+			return
+		}
+		if _, err := w.Write(body); err != nil {
+			return // client went away mid-write; nothing to recover
+		}
+	})
+}

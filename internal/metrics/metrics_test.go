@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"honeyfarm/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fill registers one of everything and feeds a fixed event sequence —
+// the shared fixture for the golden and determinism tests.
+func fill(r *Registry) {
+	c := r.Counter("test_sessions_total", "Sessions accepted.", nil)
+	c.Add(41)
+	c.Inc()
+	byPot0 := r.Counter("test_pot_sessions_total", "Sessions per pot.", Labels{"pot": "0"})
+	byPot1 := r.Counter("test_pot_sessions_total", "Sessions per pot.", Labels{"pot": "1"})
+	byPot0.Add(7)
+	byPot1.Add(3)
+	g := r.Gauge("test_lag_records", "Follower lag.", nil)
+	g.Set(12.5)
+	g.Add(-2.5)
+	r.GaugeFunc("test_snapshot_seq", "Sealed snapshot sequence.", nil, func() float64 { return 80 })
+	r.CounterFunc("test_ingested_total", "Ingested records.", Labels{"shard": "1", "role": "collector"}, func() float64 { return 1234 })
+	h := r.Histogram("test_pull_seconds", "Pull latency.", nil, stats.LogBuckets(0.001, 10, 4))
+	for _, v := range []float64{0.0005, 0.002, 0.2, 0.2, 99} {
+		h.Observe(v)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	fill(r)
+	got := r.Render()
+	path := filepath.Join("testdata", "registry.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	fill(a)
+	fill(b)
+	if !bytes.Equal(a.Render(), b.Render()) {
+		t.Errorf("two registries fed identical events rendered differently:\n--- a ---\n%s--- b ---\n%s", a.Render(), b.Render())
+	}
+	// Render twice: the reused buffer must not corrupt output.
+	if !bytes.Equal(a.Render(), a.Render()) {
+		t.Error("repeated renders of one registry differ")
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x_total", "x.", Labels{"a": "1", "b": "2"}).Inc()
+	b.Counter("x_total", "x.", Labels{"b": "2", "a": "1"}).Inc()
+	if !bytes.Equal(a.Render(), b.Render()) {
+		t.Error("label map order changed the render")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "e.", Labels{"k": "a\\b\"c\nd"}).Inc()
+	out := string(r.Render())
+	if !strings.Contains(out, `{k="a\\b\"c\nd"}`) {
+		t.Errorf("labels not escaped: %q", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup_total", "d.", nil)
+	r.Counter("dup_total", "d.", nil)
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("conflict", "c.", nil)
+	r.Gauge("conflict", "c.", nil)
+}
+
+func TestReservedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("reserved le label did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Histogram("h", "h.", Labels{"le": "1"}, []float64{1})
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "l.", Labels{"shard": "0"}, []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	out := string(r.Render())
+	for _, want := range []string{
+		`lat_seconds_bucket{shard="0",le="1"} 1`,
+		`lat_seconds_bucket{shard="0",le="10"} 2`,
+		`lat_seconds_bucket{shard="0",le="+Inf"} 3`,
+		`lat_seconds_sum{shard="0"} 55.5`,
+		`lat_seconds_count{shard="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "h.", nil).Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hits_total 3") {
+		t.Errorf("body missing counter: %s", buf.String())
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "b.", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkRender(b *testing.B) {
+	r := NewRegistry()
+	fill(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.mu.Lock()
+		r.renderLocked()
+		r.mu.Unlock()
+	}
+}

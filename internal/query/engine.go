@@ -94,6 +94,7 @@ type Engine struct {
 	maxDay    int
 	sinceSeal int
 	parts     *analysis.Partials
+	seals     atomic.Uint64 // snapshots sealed (including the empty one)
 
 	cur atomic.Pointer[Snapshot]
 }
@@ -156,6 +157,7 @@ func (e *Engine) sealLocked() *Snapshot {
 	snap := MaterializeSnapshot(e.parts, e.seq, e.maxDay+1, e.cfg.Tagger, e.cfg.Faults)
 	e.sinceSeal = 0
 	e.cur.Store(snap)
+	e.seals.Add(1)
 	return snap
 }
 
@@ -211,4 +213,11 @@ func (e *Engine) Seq() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.seq
+}
+
+// Seals returns the number of snapshots sealed over the engine's
+// lifetime, including the empty snapshot New publishes — the
+// snapshot-seal counter of the /metrics plane.
+func (e *Engine) Seals() uint64 {
+	return e.seals.Load()
 }

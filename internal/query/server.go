@@ -23,9 +23,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"honeyfarm/internal/analysis"
+	"honeyfarm/internal/metrics"
 	"honeyfarm/internal/wal"
 )
 
@@ -95,6 +97,15 @@ type Server struct {
 	sem        chan struct{}
 	clientRows int
 
+	// Serve-layer counters, exported through /metrics via
+	// RegisterServeMetrics. Always allocated (zero Counters are live),
+	// so the hot path never nil-checks.
+	cacheHits   metrics.Counter // body served from the render cache
+	renders     metrics.Counter // bodies rendered (cache misses)
+	coalesced   metrics.Counter // requests that waited on another's render
+	notModified metrics.Counter // 304 revalidations
+	rejected    metrics.Counter // 503s from the bounded in-flight semaphore
+
 	mu       sync.Mutex
 	cacheSeq uint64
 	cache    map[string]*cacheEntry
@@ -107,6 +118,7 @@ type cacheEntry struct {
 	once sync.Once
 	body []byte
 	err  error
+	done atomic.Bool // set after the Once ran: distinguishes hit from coalesce
 }
 
 // NewServer creates a server over the snapshot source.
@@ -263,22 +275,39 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request, key strin
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
-		http.Error(w, "canceled", http.StatusServiceUnavailable)
+		// The request left the queue without a render slot: the server
+		// was saturated longer than the client was willing to wait. This
+		// used to be a silent bare error; surface it as an overload
+		// rejection — counted, and with Retry-After so a well-behaved
+		// client backs off before re-dialing.
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: no render slot within the request deadline", http.StatusServiceUnavailable)
 		return
 	}
-	entry := s.entry(s.source.Snapshot(), key)
+	entry, created := s.entry(s.source.Snapshot(), key)
 	etag := fmt.Sprintf("\"q%d-%s\"", entry.snap.Seq, key)
 	w.Header().Set("Cache-Control", "no-cache")
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Inc()
 		w.Header().Set("ETag", etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
+	}
+	switch {
+	case created:
+		s.renders.Inc()
+	case entry.done.Load():
+		s.cacheHits.Inc()
+	default:
+		s.coalesced.Inc()
 	}
 	entry.once.Do(func() {
 		entry.body, entry.err = json.Marshal(build(entry.snap))
 		if entry.err == nil {
 			entry.body = append(entry.body, '\n')
 		}
+		entry.done.Store(true)
 	})
 	if entry.err != nil {
 		http.Error(w, "encoding failed", http.StatusInternalServerError)
@@ -299,7 +328,7 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request, key strin
 // snapshot the first requester saw. The cache is cleared whenever a
 // newer sequence shows up, so it holds at most one generation (plus
 // stragglers already in flight).
-func (s *Server) entry(snap *Snapshot, key string) *cacheEntry {
+func (s *Server) entry(snap *Snapshot, key string) (e *cacheEntry, created bool) {
 	full := fmt.Sprintf("%d|%s", snap.Seq, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -307,12 +336,34 @@ func (s *Server) entry(snap *Snapshot, key string) *cacheEntry {
 		s.cache = make(map[string]*cacheEntry)
 		s.cacheSeq = snap.Seq
 	}
-	e := s.cache[full]
+	e = s.cache[full]
 	if e == nil {
 		e = &cacheEntry{snap: snap}
 		s.cache[full] = e
+		created = true
 	}
-	return e
+	return e, created
+}
+
+// ServeMetrics is a consistent-enough snapshot of the serve-layer
+// counters (each field is individually atomic).
+type ServeMetrics struct {
+	CacheHits   uint64
+	Renders     uint64
+	Coalesced   uint64
+	NotModified uint64
+	Rejected    uint64
+}
+
+// Metrics returns the current serve-layer counter values.
+func (s *Server) Metrics() ServeMetrics {
+	return ServeMetrics{
+		CacheHits:   s.cacheHits.Value(),
+		Renders:     s.renders.Value(),
+		Coalesced:   s.coalesced.Value(),
+		NotModified: s.notModified.Value(),
+		Rejected:    s.rejected.Value(),
+	}
 }
 
 // etagMatches implements If-None-Match: a comma-separated candidate

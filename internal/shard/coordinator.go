@@ -36,6 +36,7 @@ import (
 	"honeyfarm/internal/analysis"
 	"honeyfarm/internal/faults"
 	"honeyfarm/internal/query"
+	"honeyfarm/internal/stats"
 	"honeyfarm/internal/store"
 )
 
@@ -84,6 +85,10 @@ type shardState struct {
 	lastOK   int64
 	failures int
 	lastErr  string
+	// Cumulative pull accounting for /metrics: unlike failures (which
+	// resets on success) these only grow.
+	pulls     uint64
+	pullFails uint64
 }
 
 // Coordinator supervises a shard fleet and publishes merged snapshots.
@@ -94,9 +99,10 @@ type Coordinator struct {
 	epoch  time.Time
 	client *http.Client
 
-	mu     sync.Mutex
-	shards []shardState
-	seq    uint64 // sum of installed shard seqs
+	mu      sync.Mutex
+	shards  []shardState
+	seq     uint64           // sum of installed shard seqs
+	pullLat *stats.Histogram // successful-pull latency (empty without a clock)
 
 	cur       atomic.Pointer[query.Snapshot]
 	dirty     chan struct{}
@@ -125,13 +131,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 5 * time.Second}
 	}
+	pullLat, err := stats.NewHistogram(PullLatencyBuckets())
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
 	c := &Coordinator{
-		cfg:    cfg,
-		epoch:  store.NormalizeEpoch(cfg.Epoch),
-		client: cfg.Client,
-		shards: make([]shardState, len(cfg.Shards)),
-		dirty:  make(chan struct{}, 1),
-		stopCh: make(chan struct{}),
+		cfg:     cfg,
+		epoch:   store.NormalizeEpoch(cfg.Epoch),
+		client:  cfg.Client,
+		shards:  make([]shardState, len(cfg.Shards)),
+		pullLat: pullLat,
+		dirty:   make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
 	}
 	for i, url := range cfg.Shards {
 		c.shards[i] = shardState{url: url, up: true}
@@ -222,18 +233,68 @@ func (c *Coordinator) pullLoop(i int) {
 	}
 }
 
+// PullLatencyBuckets is the deterministic bucket layout of the
+// coordinator's pull-latency histogram: 1ms to 10s, log-spaced.
+func PullLatencyBuckets() []float64 { return stats.LogBuckets(1e-3, 10, 12) }
+
 // pullOnce performs one pull of shard i and reports whether the shard
-// answered with an installable (or already-installed) frame.
+// answered with an installable (or already-installed) frame. Latency
+// is observed only when the coordinator has a clock (Config.Now), so
+// clockless deterministic runs render an empty histogram.
 func (c *Coordinator) pullOnce(i int) bool {
+	var t0 time.Time
+	if c.cfg.Now != nil {
+		t0 = c.cfg.Now()
+	}
 	frame, err := c.fetch(i)
 	if err == nil {
 		err = c.install(i, frame)
 	}
+	c.mu.Lock()
+	c.shards[i].pulls++
+	if err != nil {
+		c.shards[i].pullFails++
+	} else if c.cfg.Now != nil {
+		c.pullLat.Observe(c.cfg.Now().Sub(t0).Seconds())
+	}
+	c.mu.Unlock()
 	if err != nil {
 		c.noteFailure(i, err)
 		return false
 	}
 	return true
+}
+
+// PullStats is one shard's cumulative pull accounting.
+type PullStats struct {
+	Pulls    uint64
+	Failures uint64
+}
+
+// PullStatsAll returns per-shard cumulative pull counters.
+func (c *Coordinator) PullStatsAll() []PullStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PullStats, len(c.shards))
+	for i := range c.shards {
+		out[i] = PullStats{Pulls: c.shards[i].pulls, Failures: c.shards[i].pullFails}
+	}
+	return out
+}
+
+// PullLatency returns a merged copy of the successful-pull latency
+// histogram.
+func (c *Coordinator) PullLatency() *stats.Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, err := stats.NewHistogram(c.pullLat.Bounds())
+	if err != nil {
+		panic("shard: pull latency bounds invalidated: " + err.Error())
+	}
+	if err := cp.Merge(c.pullLat); err != nil {
+		panic("shard: pull latency self-merge failed: " + err.Error())
+	}
+	return cp
 }
 
 // fetch GETs shard i's current partials frame.

@@ -1,0 +1,104 @@
+package shard
+
+// /metrics registration for the two shard-fleet node shapes: the merge
+// coordinator (per-shard pull health) and the collector shard (engine +
+// WAL writer + optional wire front). Values are read through funcs at
+// scrape time; nothing here touches the pull or ingest hot paths.
+
+import (
+	"strconv"
+	"time"
+
+	"honeyfarm/internal/metrics"
+	"honeyfarm/internal/query"
+	"honeyfarm/internal/stats"
+	"honeyfarm/internal/wal"
+)
+
+// RegisterCoordinatorMetrics exports the merge coordinator's per-shard
+// pull health: up/seq/staleness gauges, cumulative pull counters, and
+// the pull-latency histogram. now supplies the wall clock for the
+// staleness gauges; nil renders them 0 (deterministic tests).
+func RegisterCoordinatorMetrics(reg *metrics.Registry, c *Coordinator, now func() time.Time) {
+	n := len(c.cfg.Shards)
+	for i := 0; i < n; i++ {
+		shard := i
+		labels := metrics.Labels{"shard": strconv.Itoa(shard)}
+		reg.GaugeFunc("honeyfarm_shard_up",
+			"1 while the shard answers pulls, else 0.",
+			labels, func() float64 {
+				if c.ShardStatuses()[shard].Up {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("honeyfarm_shard_last_seq",
+			"Installed (merged) sequence of the shard.",
+			labels, func() float64 { return float64(c.ShardStatuses()[shard].LastSeq) })
+		reg.GaugeFunc("honeyfarm_shard_consecutive_failures",
+			"Consecutive failed pulls since the shard last answered.",
+			labels, func() float64 { return float64(c.ShardStatuses()[shard].Failures) })
+		reg.GaugeFunc("honeyfarm_shard_staleness_seconds",
+			"Seconds since the shard last answered a pull (0 without a clock or before first contact).",
+			labels, func() float64 {
+				last := c.ShardStatuses()[shard].LastOKUnix
+				if now == nil || last == 0 {
+					return 0
+				}
+				d := now().Unix() - last
+				if d < 0 {
+					return 0
+				}
+				return float64(d)
+			})
+		reg.CounterFunc("honeyfarm_shard_pulls_total",
+			"Pull attempts against the shard.",
+			labels, func() float64 { return float64(c.PullStatsAll()[shard].Pulls) })
+		reg.CounterFunc("honeyfarm_shard_pull_failures_total",
+			"Failed pull attempts against the shard.",
+			labels, func() float64 { return float64(c.PullStatsAll()[shard].Failures) })
+	}
+	reg.HistogramFunc("honeyfarm_shard_pull_latency_seconds",
+		"Latency of successful shard pulls (observed only with a clock).",
+		nil, func() *stats.Histogram { return c.PullLatency() })
+}
+
+// BuildMergeRegistry assembles the full cmd/merge metric set — exactly
+// what the merge node mounts at /metrics.
+func BuildMergeRegistry(c *Coordinator, srv *query.Server, numPots int, now func() time.Time) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	query.RegisterSourceMetrics(reg, c, numPots)
+	RegisterCoordinatorMetrics(reg, c, now)
+	query.RegisterServeMetrics(reg, srv)
+	return reg
+}
+
+// BuildCollectorRegistry assembles the full cmd/shard metric set:
+// source + engine + WAL writer health + serve rows, the WAL→engine
+// ingest lag, and (when a wire front is running) the wire session
+// counters — exactly what the collector shard mounts at /metrics.
+func BuildCollectorRegistry(eng *query.Engine, health func() wal.Health, front *WireFront, srv *query.Server, numPots int) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	query.RegisterSourceMetrics(reg, eng, numPots)
+	query.RegisterEngineMetrics(reg, eng)
+	if health != nil {
+		query.RegisterWALHealthMetrics(reg, health)
+		reg.GaugeFunc("honeyfarm_wal_ingest_lag_records",
+			"Records appended to the WAL but not yet folded into the engine (the follower-lag of a collector).",
+			nil, func() float64 {
+				lag := float64(health().AppendedRecords) - float64(eng.Seq())
+				if lag < 0 {
+					// A recovered WAL re-counts from zero while the engine
+					// replayed the full history; clamp rather than report a
+					// negative lag.
+					return 0
+				}
+				return lag
+			})
+	}
+	if front != nil {
+		RegisterWireMetrics(reg, front)
+	}
+	query.RegisterServeMetrics(reg, srv)
+	return reg
+}

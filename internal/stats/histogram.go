@@ -1,0 +1,138 @@
+package stats
+
+// Histogram is a fixed-bucket histogram over float64 samples, built for
+// the metrics plane: bucket bounds are decided once at construction
+// (typically log-spaced via LogBuckets), observations are O(log n), and
+// two histograms with identical bounds merge by adding counts — the
+// same mergeability contract the analysis partials follow. Unlike ECDF
+// it never retains samples, so it is safe to feed from an unbounded
+// stream.
+//
+// Buckets follow the Prometheus convention: counts[i] counts samples v
+// with v <= bounds[i] (and v > bounds[i-1]); the final slot counts the
+// overflow (v > bounds[len-1], the "+Inf" bucket). The zero value is
+// not usable; construct with NewHistogram.
+type Histogram struct {
+	bounds []float64 // ascending inclusive upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+// LogBuckets returns n geometrically spaced inclusive upper bounds
+// covering (0, hi], the deterministic bucket layout shared between
+// stats.Histogram and the internal/metrics exposition histograms. The
+// first bound is lo·(hi/lo)^(1/n) — lo itself is a lower edge, not a
+// bound — so LogBuckets(lo, hi, n) == LogBins(lo, hi, n)[1:].
+func LogBuckets(lo, hi float64, n int) []float64 {
+	edges := LogBins(lo, hi, n)
+	if edges == nil {
+		return nil
+	}
+	return edges[1:]
+}
+
+// NewHistogram builds a histogram over a copy of the given bounds,
+// which must be strictly ascending and non-empty.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, errHistBounds("empty bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, errHistBounds("bounds not strictly ascending")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}, nil
+}
+
+type errHistBounds string
+
+func (e errHistBounds) Error() string { return "stats: histogram: " + string(e) }
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	j := len(h.bounds)
+	for i < j { // binary search: first bound >= v
+		m := (i + j) / 2
+		if h.bounds[m] < v {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bounds returns a copy of the bucket upper bounds (the implicit final
+// +Inf bound is not included).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Counts returns a copy of the per-bucket (non-cumulative) counts; the
+// final element is the +Inf overflow bucket.
+func (h *Histogram) Counts() []uint64 { return append([]uint64(nil), h.counts...) }
+
+// Merge adds other's counts into h. The two histograms must share
+// identical bounds — the deterministic-layout contract that makes
+// per-shard histograms reducible.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(other.bounds) != len(h.bounds) {
+		return errHistBounds("merge: bound count mismatch")
+	}
+	for i, b := range h.bounds {
+		if other.bounds[i] != b {
+			return errHistBounds("merge: bound value mismatch")
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.n += other.n
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by locating the
+// bucket holding the target rank and interpolating linearly inside it.
+// The overflow bucket reports its lower edge (the largest bound) — the
+// histogram has no upper limit to interpolate toward. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i == len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}

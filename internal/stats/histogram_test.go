@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogBucketsSharedLayout(t *testing.T) {
+	b := LogBuckets(1e-3, 10, 8)
+	if len(b) != 8 {
+		t.Fatalf("LogBuckets len = %d, want 8", len(b))
+	}
+	edges := LogBins(1e-3, 10, 8)
+	for i, v := range b {
+		if v != edges[i+1] {
+			t.Errorf("bound %d = %v, want LogBins edge %v", i, v, edges[i+1])
+		}
+	}
+	if b[len(b)-1] != 10 {
+		t.Errorf("last bound = %v, want 10", b[len(b)-1])
+	}
+	// Deterministic: two derivations are identical.
+	b2 := LogBuckets(1e-3, 10, 8)
+	for i := range b {
+		if b[i] != b2[i] {
+			t.Fatalf("LogBuckets not deterministic at %d: %v vs %v", i, b[i], b2[i])
+		}
+	}
+	if LogBuckets(0, 10, 8) != nil || LogBuckets(1, 1, 8) != nil {
+		t.Error("degenerate ranges should return nil")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 2, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 1} // (..1], (1..10], (10..100], overflow
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1063.5 {
+		t.Errorf("Sum = %v, want 1063.5", h.Sum())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram([]float64{1, 10})
+	b, _ := NewHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	b.Observe(5)
+	b.Observe(50)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || a.Sum() != 55.5 {
+		t.Errorf("merged Count=%d Sum=%v, want 3 55.5", a.Count(), a.Sum())
+	}
+	got := a.Counts()
+	want := []uint64{1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	c, _ := NewHistogram([]float64{1, 20})
+	if err := a.Merge(c); err == nil {
+		t.Error("mismatched bounds merged")
+	}
+	d, _ := NewHistogram([]float64{1})
+	if err := a.Merge(d); err == nil {
+		t.Error("mismatched bound count merged")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram([]float64{10, 20, 30})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in first bucket
+	}
+	// rank 5 of 10 in bucket (0,10]: linear interpolation to 5.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+	// Overflow samples report the largest bound.
+	o, _ := NewHistogram([]float64{10})
+	o.Observe(99)
+	if got := o.Quantile(0.5); got != 10 {
+		t.Errorf("overflow Quantile = %v, want 10", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h, _ := NewHistogram(LogBuckets(1e-3, 10, 12))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 20)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

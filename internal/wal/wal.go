@@ -225,6 +225,14 @@ type Health struct {
 	// successful probes back out of it.
 	Outages    int `json:"outages"`
 	Recoveries int `json:"recoveries"`
+	// Appends and AppendedRecords count the batch frames (and the
+	// records they carry) written to segments; Fsyncs counts successful
+	// segment fsyncs (group commits, explicit Syncs, and rotation/close
+	// seals). Together with the drop counters above they are the WAL
+	// rows of the /metrics plane.
+	Appends         int `json:"appends"`
+	AppendedRecords int `json:"appended_records"`
+	Fsyncs          int `json:"fsyncs"`
 }
 
 // SegmentStat is one segment's recovery/verification summary.
@@ -720,6 +728,8 @@ func (l *Log) AppendTagged(tag uint64, recs []*honeypot.SessionRecord) error {
 		l.dropLocked(len(recs))
 		return err
 	}
+	l.health.Appends++
+	l.health.AppendedRecords += len(recs)
 	l.pending += len(recs)
 	if l.pending >= l.opts.SyncEvery {
 		if err := l.requestSyncLocked(); err != nil {
@@ -1001,6 +1011,8 @@ func (l *Log) waitSyncLocked() error {
 		l.syncInFlight = false
 		if err != nil {
 			l.enterDegradedLocked("group commit fsync", err, false)
+		} else {
+			l.health.Fsyncs++
 		}
 	}
 	if l.degraded != nil {
@@ -1049,6 +1061,7 @@ func (l *Log) Sync() error {
 		l.enterDegradedLocked("sync", err, false)
 		return l.degradedErrLocked()
 	}
+	l.health.Fsyncs++
 	l.pending = 0
 	return nil
 }
@@ -1081,6 +1094,7 @@ func (l *Log) Close() error {
 		l.f = nil
 		return fmt.Errorf("wal: sync on close: %w", err)
 	}
+	l.health.Fsyncs++
 	err := l.f.Close()
 	l.f = nil
 	return err
@@ -1098,6 +1112,7 @@ func (l *Log) rotateLocked() error {
 		l.enterDegradedLocked("sync before rotation", err, false)
 		return l.degradedErrLocked()
 	}
+	l.health.Fsyncs++
 	if err := l.f.Close(); err != nil {
 		// The data is durable (the sync above landed); only the handle is
 		// in doubt. Degrade with the segment considered sealed.

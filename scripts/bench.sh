@@ -2,11 +2,12 @@
 # bench.sh — record a benchmark baseline as BENCH_<n>.json in the repo
 # root, picking the first unused n. The default run covers the sharded
 # generation pipeline's scaling (BenchmarkGenerateWorkers), the WAL
-# durability tax (BenchmarkWALAppendRecover), and the analyzer engine's
-# cold/warm split (BenchmarkLintRepo); pass a different -bench regexp
+# durability tax (BenchmarkWALAppendRecover), the analyzer engine's
+# cold/warm split (BenchmarkLintRepo), and the open-loop harness's wire
+# path (BenchmarkLoadgenWirePath); pass a different -bench regexp
 # and/or -benchtime as $1 and $2:
 #
-#   scripts/bench.sh                     # GenerateWorkers + WAL + lint, 1x
+#   scripts/bench.sh                     # default set, 1x
 #   scripts/bench.sh 'Generate' 3x       # wider sweep, 3 iterations
 #
 # The baseline embeds the machine's core count: worker-scaling numbers
@@ -16,7 +17,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-bench="${1:-GenerateWorkers|WALAppendRecover|LintRepo}"
+bench="${1:-GenerateWorkers|WALAppendRecover|LintRepo|LoadgenWirePath}"
 benchtime="${2:-1x}"
 
 n=1

@@ -36,6 +36,14 @@
 #                every /v1 endpoint must compare byte-identical against
 #                a single-node run over the same dataset, healthz must
 #                return to "ok", and every process must drain leak-free
+#   loadgen smoke  a 2-shard wire fleet (cmd/shard -wire, built with
+#                -race) behind a merge node and a WAL-tailing serve is
+#                driven by cmd/loadgen's open-loop schedule; the
+#                driver's completed-session count must reconcile exactly
+#                with the fleet's /metrics counters, the serve node must
+#                converge to shard 0's accepted count, the same seed
+#                must produce a byte-identical plan twice, and every
+#                process must drain leak-free
 #   real ENOSPC  (Linux, needs mount privileges; skipped otherwise) the
 #                WAL degraded-mode test re-run against an actually full
 #                filesystem: a size-capped tmpfs is filled with ballast
@@ -211,7 +219,7 @@ poll_file() {
     while [ ! -s "$1" ]; do
         i=$((i + 1))
         if [ "$i" -gt 150 ]; then
-            echo "merge smoke: $2 never wrote $1" >&2
+            echo "smoke: $2 never wrote $1" >&2
             cat "$tmp"/*.log >&2 || true
             exit 1
         fi
@@ -358,6 +366,128 @@ printf '%s\n' "$fsck_out" | grep -q "summary: 4 path(s)" || {
     printf '%s\n' "$fsck_out" >&2
     exit 1
 }
+
+echo "==> loadgen smoke (2-shard wire fleet, open-loop drive, count reconciliation)"
+go build -race -o "$tmp/loadgen" ./cmd/loadgen
+
+# Two wire shards: real SSH/Telnet listeners for the owned pots, each
+# appending accepted sessions to its own WAL before ingesting them.
+# (si, not i: poll_file uses i as its internal counter.)
+for si in 0 1; do
+    "$tmp/shard" -wire -pots 6 -shards 2 -index "$si" -seed 11 \
+        -wal-dir "$tmp/lg-s$si-wal" -addr 127.0.0.1:0 -addr-file "$tmp/lg-s$si-addr" \
+        -wire-addr-file "$tmp/lg-s$si.pots" \
+        >"$tmp/lg-s$si.log" 2>&1 &
+    eval "lg${si}_pid=\$!"
+    poll_file "$tmp/lg-s$si-addr" "wire shard $si"
+    poll_file "$tmp/lg-s$si.pots" "wire shard $si pot table"
+done
+lg_s0=$(cat "$tmp/lg-s0-addr")
+lg_s1=$(cat "$tmp/lg-s1-addr")
+
+# A merge node over both shards and a serve node tailing shard 0's WAL:
+# the full deployment every accepted wire session must flow through.
+"$tmp/merge" -shards "http://$lg_s0,http://$lg_s1" -pots 6 -pull-every 50ms \
+    -addr 127.0.0.1:0 -addr-file "$tmp/lg-merge-addr" \
+    >"$tmp/lg-merge.log" 2>&1 &
+lg_merge_pid=$!
+"$tmp/serve" -wal-dir "$tmp/lg-s0-wal" -pots 6 -seed 11 -poll 50ms \
+    -addr 127.0.0.1:0 -addr-file "$tmp/lg-serve-addr" \
+    >"$tmp/lg-serve.log" 2>&1 &
+lg_serve_pid=$!
+poll_file "$tmp/lg-merge-addr" "loadgen merge"
+poll_file "$tmp/lg-serve-addr" "loadgen serve"
+lg_merge=$(cat "$tmp/lg-merge-addr")
+lg_serve=$(cat "$tmp/lg-serve-addr")
+
+# Same seed, same targets: the emitted plan must be byte-identical.
+lg_args="-seed 11 -rate 40 -duration 3s -targets $tmp/lg-s0.pots,$tmp/lg-s1.pots"
+"$tmp/loadgen" $lg_args -plan-only -out "$tmp/lg-plan-a.json"
+"$tmp/loadgen" $lg_args -plan-only -out "$tmp/lg-plan-b.json"
+cmp "$tmp/lg-plan-a.json" "$tmp/lg-plan-b.json"
+
+# Drive the fleet and reconcile: the driver's completed count must match
+# the sum of the shards' accepted-session counters exactly.
+"$tmp/loadgen" $lg_args -concurrency 32 \
+    -check "http://$lg_s0/metrics,http://$lg_s1/metrics" \
+    -require-clean -out "$tmp/lg-report.json"
+grep -q '"match": true' "$tmp/lg-report.json" || {
+    echo "loadgen smoke: report shows no reconciliation match" >&2
+    cat "$tmp/lg-report.json" >&2
+    exit 1
+}
+
+# The serve node tails shard 0's WAL: it must converge to exactly the
+# sessions shard 0 accepted (counted at its own /metrics).
+acc0=$(curl -fsS "http://$lg_s0/metrics" |
+    awk '$1 == "honeyfarm_wire_sessions_accepted_total" {print $2}')
+if [ -z "$acc0" ] || [ "$acc0" -lt 1 ]; then
+    echo "loadgen smoke: shard 0 accepted no sessions (${acc0:-?})" >&2
+    exit 1
+fi
+i=0
+while :; do
+    got=$(curl -fsS "http://$lg_serve/metrics" |
+        awk '$1 == "honeyfarm_ingested_records_total" {print $2}')
+    if [ "${got:-0}" -eq "$acc0" ]; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "loadgen smoke: serve ingested ${got:-?}, shard 0 accepted $acc0" >&2
+        cat "$tmp/lg-serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1 2>/dev/null || sleep 1
+done
+# The merge node's /metrics must carry both shards as up, and its
+# merged sequence (Σ shard seqs) must converge to the total accepted
+# across the fleet — closing the loadgen → shards → merge count chain.
+merge_up=$(curl -fsS "http://$lg_merge/metrics" |
+    awk '$1 ~ /^honeyfarm_shard_up\{/ {n += $2} END {print n}')
+if [ "${merge_up:-0}" -ne 2 ]; then
+    echo "loadgen smoke: merge reports ${merge_up:-0}/2 shards up" >&2
+    curl -fsS "http://$lg_merge/metrics" >&2 || true
+    exit 1
+fi
+acc1=$(curl -fsS "http://$lg_s1/metrics" |
+    awk '$1 == "honeyfarm_wire_sessions_accepted_total" {print $2}')
+total=$((acc0 + ${acc1:-0}))
+i=0
+while :; do
+    mseq=$(curl -fsS "http://$lg_merge/metrics" |
+        awk '$1 == "honeyfarm_ingested_records_total" {print $2}')
+    if [ "${mseq:-0}" -eq "$total" ]; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "loadgen smoke: merge seq ${mseq:-?}, fleet accepted $total" >&2
+        cat "$tmp/lg-merge.log" >&2
+        exit 1
+    fi
+    sleep 0.1 2>/dev/null || sleep 1
+done
+
+# Drain the whole fleet; every process checks its own goroutine
+# baseline and only prints the clean-drain line on a leak-free exit.
+for pid in $lg_merge_pid $lg_serve_pid $lg0_pid $lg1_pid; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+lg_status=0
+wait "$lg_merge_pid" "$lg_serve_pid" "$lg0_pid" "$lg1_pid" || lg_status=$?
+if [ "$lg_status" -ne 0 ]; then
+    echo "loadgen smoke: a fleet process exited nonzero" >&2
+    cat "$tmp"/lg-*.log >&2
+    exit 1
+fi
+for f in "$tmp/lg-merge.log" "$tmp/lg-serve.log" "$tmp/lg-s0.log" "$tmp/lg-s1.log"; do
+    if ! grep -q "drained cleanly" "$f"; then
+        echo "loadgen smoke: $f shows no clean drain" >&2
+        cat "$f" >&2
+        exit 1
+    fi
+done
 
 echo "==> real-ENOSPC gate (WAL degraded mode on a size-capped tmpfs)"
 if [ "$(uname -s)" = "Linux" ] &&
